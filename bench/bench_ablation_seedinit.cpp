@@ -1,0 +1,58 @@
+// Ablation (paper Section III): the attack-seed initialization has a
+// "significant impact on the attack success rate and attack cost".
+// This bench mounts the type-2 reconstruction attack with each seed
+// initializer over several clients and reports success rate, mean
+// iterations to succeed and mean reconstruction distance — the reason
+// the paper (and this repo) default to patterned random seeds.
+#include <cstdio>
+
+#include "attack/leakage_eval.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace fedcl;
+  bench::print_preamble(
+      "bench_ablation_seedinit",
+      "ablation: attack seed initialization (Section III)");
+
+  // The harder attack surface is where the seed matters: the relu CNN
+  // (piecewise-linear gradient-matching landscape, the training
+  // default) and the *batched* type-0/1 observation.
+  attack::LeakageExperimentConfig config;
+  config.bench = data::benchmark_config(data::BenchmarkId::kMnist);
+  config.clients = bench_scale() == BenchScale::kSmoke ? 2 : 8;
+  config.seed = experiment_seed();
+  config.attack.max_iterations =
+      bench_scale() == BenchScale::kSmoke ? 80 : 300;
+
+  core::NonPrivatePolicy policy;
+
+  AsciiTable table("Attack effectiveness by seed initialization "
+                   "(relu CNN, non-private, " +
+                   std::to_string(config.clients) + " clients)");
+  table.set_header({"seed init", "t-0/1 ASR", "iters", "distance",
+                    "t-2 ASR", "iters", "distance"});
+  for (attack::SeedInit init :
+       {attack::SeedInit::kPatternedRandom, attack::SeedInit::kUniformRandom,
+        attack::SeedInit::kConstant}) {
+    config.attack.seed_init = init;
+    attack::LeakageReport report = attack::evaluate_leakage(config, policy);
+    table.add_row({attack::seed_init_name(init),
+                   AsciiTable::fmt(report.type01.success_rate, 2),
+                   AsciiTable::fmt(report.type01.mean_iterations, 1),
+                   AsciiTable::fmt(report.type01.mean_distance),
+                   AsciiTable::fmt(report.type2.success_rate, 2),
+                   AsciiTable::fmt(report.type2.mean_iterations, 1),
+                   AsciiTable::fmt(report.type2.mean_distance)});
+    std::printf("%s done (t01 ASR %.2f, t2 ASR %.2f)\n",
+                attack::seed_init_name(init), report.type01.success_rate,
+                report.type2.success_rate);
+  }
+  table.print();
+  std::printf(
+      "Expected shape (paper Section III / CPL): the seed matters on "
+      "the hard (batched, relu) surface — structured seeds keep the "
+      "success rate up and iteration counts down, unstructured seeds "
+      "fail on more clients.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Extension experiment (Section II discussion): secure aggregation
+// (Bonawitz-style pairwise masking, the paper's reference [22]) hides
+// individual updates from the server — type-0 leakage is stopped even
+// without DP — but it does nothing for type-1/2 leakage at the client,
+// which is the paper's argument for Fed-CDP. This bench demonstrates
+// all three observation points under non-private FL with and without
+// secure aggregation, and verifies the aggregate is exact.
+#include <cstdio>
+#include <memory>
+
+#include "attack/leakage_eval.h"
+#include "attack/reconstruction.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/secure_aggregation.h"
+#include "nn/model_zoo.h"
+
+int main() {
+  using namespace fedcl;
+  bench::print_preamble(
+      "bench_ext_secure_agg",
+      "extension: secure aggregation vs the three leakage types");
+
+  data::BenchmarkConfig bench_cfg =
+      data::benchmark_config(data::BenchmarkId::kMnist);
+  bench_cfg.model.activation = nn::Activation::kSigmoid;
+
+  Rng root(experiment_seed());
+  Rng drng = root.fork("data");
+  auto train = std::make_shared<data::Dataset>(
+      data::generate_synthetic(bench_cfg.train_spec, drng));
+  data::PartitionSpec part = bench_cfg.partition;
+  part.num_clients = 4;
+  Rng prng = root.fork("part");
+  auto shards = data::partition(train, part, prng);
+  Rng mrng = root.fork("model");
+  auto model = nn::build_model(bench_cfg.model, mrng);
+  const core::TensorList global_weights = model->weights();
+
+  fl::LocalTrainConfig local{.local_iterations = 1,
+                             .batch_size = bench_cfg.batch_size,
+                             .learning_rate = bench_cfg.learning_rate};
+  core::NonPrivatePolicy policy;
+
+  // Run the four clients and collect plain + masked updates.
+  fl::SecureAggregator aggregator(
+      {0, 1, 2, 3}, experiment_seed() ^ 0x5EC,
+      tensor::list::shapes_of(global_weights));
+  std::vector<core::TensorList> plain, masked;
+  std::vector<fl::LeakageProbe> probes(4);
+  for (std::int64_t ci = 0; ci < 4; ++ci) {
+    fl::Client client(ci, shards[static_cast<std::size_t>(ci)], local);
+    Rng crng = root.fork("round", static_cast<std::uint64_t>(ci));
+    fl::ClientRoundOutcome outcome =
+        client.run_round(*model, global_weights, policy, 0, crng,
+                         &probes[static_cast<std::size_t>(ci)]);
+    plain.push_back(tensor::list::clone(outcome.update.delta));
+    aggregator.mask(ci, outcome.update.delta);
+    masked.push_back(std::move(outcome.update.delta));
+  }
+  model->set_weights(global_weights);
+
+  // The server-side aggregate is unchanged by the masking.
+  core::TensorList sum_plain = tensor::list::zeros_like(global_weights);
+  core::TensorList sum_masked = tensor::list::zeros_like(global_weights);
+  for (std::size_t i = 0; i < 4; ++i) {
+    tensor::list::add_(sum_plain, plain[i]);
+    tensor::list::add_(sum_masked, masked[i]);
+  }
+  core::TensorList diff = tensor::list::clone(sum_masked);
+  tensor::list::add_(diff, sum_plain, -1.0f);
+  std::printf("aggregate error with masking: %.3e (relative to norm "
+              "%.3e)\n\n",
+              tensor::list::l2_norm(diff), tensor::list::l2_norm(sum_plain));
+
+  // Type-0 attack on the update the server receives.
+  attack::AttackConfig acfg;
+  acfg.max_iterations = bench_scale() == BenchScale::kSmoke ? 60 : 300;
+  attack::GradientReconstructionAttack attacker(model, acfg);
+  const float inv_eta =
+      static_cast<float>(-1.0 / bench_cfg.learning_rate);
+
+  AsciiTable table("type-0 reconstruction from the server's view");
+  table.set_header({"transport", "mean distance", "succeeds"});
+  for (bool secure : {false, true}) {
+    double dist = 0.0;
+    bool any = false;
+    for (std::size_t i = 0; i < 4; ++i) {
+      core::TensorList observed =
+          tensor::list::clone(secure ? masked[i] : plain[i]);
+      tensor::list::scale_(observed, inv_eta);
+      attack::AttackResult r = attacker.run(
+          observed, probes[i].first_batch.x.shape(),
+          probes[i].first_batch.labels, probes[i].first_batch.x);
+      dist += r.reconstruction_distance;
+      any = any || r.success;
+    }
+    table.add_row({secure ? "secure aggregation" : "plaintext updates",
+                   AsciiTable::fmt(dist / 4.0), bench::yes_no(any)});
+  }
+  table.print();
+
+  std::printf(
+      "\ntype-1/2 (client-side observation points) are untouched by "
+      "secure aggregation — the per-example gradient of client 0 still "
+      "reconstructs:\n");
+  attack::AttackResult t2 = attacker.run(
+      probes[0].type2_observed, probes[0].type2_example.x.shape(),
+      probes[0].type2_example.labels, probes[0].type2_example.x);
+  std::printf("type-2 under secure aggregation: %s (distance %.4f)\n",
+              t2.success ? "SUCCEEDS" : "fails",
+              t2.reconstruction_distance);
+  std::printf(
+      "\nExpected shape: masking stops the type-0 attack cold (masked "
+      "updates are noise to the server) at zero aggregate error, but "
+      "client-side leakage (type-1/2) persists — hence Fed-CDP.\n");
+  return 0;
+}

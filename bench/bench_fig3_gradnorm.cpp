@@ -1,0 +1,60 @@
+// Figure 3: decay of the gradient L2 norm during federated training —
+// mean first-iteration batch-gradient norm across the clients of each
+// round (the paper plots the mean over 100 MNIST clients at one local
+// iteration).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/policy.h"
+#include "fl/trainer.h"
+
+int main() {
+  using namespace fedcl;
+  bench::print_preamble("bench_fig3_gradnorm",
+                        "Figure 3: gradient L2 norm decay during training");
+  const bench::FederationScale fed = bench::federation_scale();
+
+  fl::FlExperimentConfig config;
+  config.bench = data::benchmark_config(data::BenchmarkId::kMnist);
+  config.total_clients = fed.default_clients;
+  config.clients_per_round = fed.default_per_round;
+  config.seed = experiment_seed();
+  if (bench_scale() != BenchScale::kPaper) {
+    // The norm decay appears once training converges. At reduced scale
+    // the non-IID shards have not converged within the round budget,
+    // so this figure uses an IID partition and a slightly longer run —
+    // the phenomenon (and the Fed-CDP(decay) motivation) is identical.
+    config.bench.partition.classes_per_client =
+        config.bench.train_spec.classes;
+    config.rounds = config.bench.rounds * 3;
+  }
+  core::NonPrivatePolicy policy;
+  fl::FlRunResult result = fl::run_experiment(config, policy);
+
+  AsciiTable table("Figure 3 — mean per-client gradient L2 norm by round "
+                   "(MNIST, non-private)");
+  table.set_header({"round", "mean grad L2 norm", "bar"});
+  double max_norm = 0.0;
+  for (const auto& r : result.history) {
+    max_norm = std::max(max_norm, r.mean_grad_norm);
+  }
+  for (const auto& r : result.history) {
+    const int width =
+        max_norm > 0 ? static_cast<int>(40.0 * r.mean_grad_norm / max_norm)
+                     : 0;
+    table.add_row({std::to_string(r.round + 1),
+                   AsciiTable::fmt(r.mean_grad_norm, 3),
+                   std::string(static_cast<std::size_t>(width), '#')});
+  }
+  table.print();
+
+  const double early = result.history.front().mean_grad_norm;
+  const double late = result.history.back().mean_grad_norm;
+  std::printf(
+      "\nfirst-round norm %.3f vs final-round norm %.3f (ratio %.2f)\n"
+      "Expected shape (paper Fig. 3): the norm rises briefly as the "
+      "model leaves initialization, then decays as training converges — "
+      "the motivation for Fed-CDP(decay)'s shrinking clipping bound.\n",
+      early, late, late > 0 ? early / late : 0.0);
+  return 0;
+}

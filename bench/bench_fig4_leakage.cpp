@@ -1,0 +1,64 @@
+// Figure 4: visual comparison of the gradient-leakage attack under
+// non-private FL, DSSGD (selective sharing), Fed-SDP, Fed-CDP and
+// Fed-CDP(decay) on an LFW-like example — reconstruction distances per
+// leakage type plus ASCII renderings of the type-2 reconstructions.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "attack/leakage_eval.h"
+#include "bench/bench_util.h"
+#include "fl/dssgd.h"
+
+int main() {
+  using namespace fedcl;
+  bench::print_preamble(
+      "bench_fig4_leakage",
+      "Figure 4: leakage visualization under each Fed-DP module");
+
+  attack::LeakageExperimentConfig config;
+  config.bench = data::benchmark_config(data::BenchmarkId::kLfw);
+  config.bench.model.activation = nn::Activation::kSigmoid;
+  config.clients = 1;
+  config.seed = experiment_seed();
+  config.attack.max_iterations =
+      bench_scale() == BenchScale::kSmoke ? 80 : 300;
+
+  bench::PolicySet dp_policies = bench::make_policy_set(config.bench.rounds);
+  // DSSGD shares the largest 70% of update coordinates — within the
+  // range the paper shows still leaks (Figure 5: leakage persists up to
+  // ~30% compression).
+  fl::DssgdPolicy dssgd(0.7);
+
+  std::vector<const core::PrivacyPolicy*> policies = {
+      dp_policies.non_private.get(), &dssgd, dp_policies.fed_sdp.get(),
+      dp_policies.fed_cdp.get(), dp_policies.fed_cdp_decay.get()};
+
+  AsciiTable table("Figure 4 — reconstruction distance by policy (LFW)");
+  table.set_header({"policy", "type-0&1 dist", "succeed", "type-2 dist",
+                    "succeed"});
+  for (const core::PrivacyPolicy* policy : policies) {
+    attack::LeakageReport report = attack::evaluate_leakage(config, *policy);
+    table.add_row({policy->name(),
+                   AsciiTable::fmt(report.type01.mean_distance),
+                   bench::yes_no(report.type01.any_success),
+                   AsciiTable::fmt(report.type2.mean_distance),
+                   bench::yes_no(report.type2.any_success)});
+    const auto& r = report.type2.per_client.front();
+    std::printf("\n--- %s: type-2 reconstruction (distance %.4f) ---\n%s",
+                policy->name().c_str(), r.reconstruction_distance,
+                attack::ascii_image(r.reconstruction).c_str());
+    if (policy == policies.front()) {
+      std::printf("--- private ground truth ---\n%s",
+                  attack::ascii_image(r.ground_truth).c_str());
+    }
+  }
+  std::printf("\n");
+  table.print();
+  std::printf(
+      "Expected shape (paper Fig. 4): non-private and DSSGD leak under "
+      "all three types; Fed-SDP masks type-0&1 but leaks type-2; "
+      "Fed-CDP masks all; Fed-CDP(decay) yields the largest "
+      "reconstruction distance (strongest masking).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table IV: Fed-CDP accuracy by clipping bound C in {0.5,1,2,4,6,8}
+// at the default noise scale, across all five benchmarks.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fl/trainer.h"
+
+int main() {
+  using namespace fedcl;
+  bench::print_preamble("bench_table4_clipping",
+                        "Table IV: Fed-CDP accuracy by clipping bound C");
+  const bench::FederationScale fed = bench::federation_scale();
+  const std::vector<double> bounds = {0.5, 1, 2, 4, 6, 8};
+  const double sigma = data::default_noise_scale();
+
+  AsciiTable table("Table IV — Fed-CDP accuracy by clipping bound (sigma=" +
+                   AsciiTable::fmt(sigma, 2) + ")");
+  std::vector<std::string> header = {"dataset"};
+  for (double c : bounds) header.push_back("C=" + AsciiTable::fmt(c, 1));
+  table.set_header(header);
+
+  for (data::BenchmarkId id : data::all_benchmarks()) {
+    data::BenchmarkConfig cfg = data::benchmark_config(id);
+    std::vector<std::string> row = {cfg.name};
+    for (double c : bounds) {
+      core::FedCdpPolicy policy(c, sigma);
+      fl::FlExperimentConfig config;
+      config.bench = cfg;
+      config.total_clients = fed.default_clients;
+      config.clients_per_round = fed.default_per_round;
+      if (fed.sweep_rounds > 0) config.rounds = fed.sweep_rounds;
+      config.seed = experiment_seed();
+      config.noise_scale = sigma;
+      fl::FlRunResult result = fl::run_experiment(config, policy);
+      row.push_back(AsciiTable::fmt(result.final_accuracy, 3));
+      std::printf("%s C=%.1f -> %.3f\n", cfg.name.c_str(), c,
+                  result.final_accuracy);
+    }
+    table.add_row(row);
+  }
+  table.print();
+  std::printf(
+      "paper: MNIST 0.914/0.934/0.943/0.949/0.933/0.923; CIFAR-10 "
+      "0.408/0.568/0.602/0.633/0.624/0.611; LFW 0.582/.../0.649 at C=4; "
+      "adult peaks at C=2; cancer peaks at C=2..4.\n"
+      "Expected shape: accuracy peaks at a moderate C (noise variance "
+      "grows with C; information loss grows as C shrinks) and degrades "
+      "at both extremes.\n");
+  return 0;
+}

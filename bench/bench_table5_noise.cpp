@@ -1,0 +1,56 @@
+// Table V: Fed-CDP accuracy by noise scale sigma with C=4. The paper
+// sweeps sigma in {0.5,1,2,4,6,8} around its default 6; the scaled
+// runs sweep the same multipliers around the scale-calibrated default
+// (see EXPERIMENTS.md on noise-scale calibration).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fl/trainer.h"
+
+int main() {
+  using namespace fedcl;
+  bench::print_preamble("bench_table5_noise",
+                        "Table V: Fed-CDP accuracy by noise scale sigma");
+  const bench::FederationScale fed = bench::federation_scale();
+  const double sigma0 = data::default_noise_scale();
+  // The paper's sweep {0.5,1,2,4,6,8} as multiples of its default 6.
+  const std::vector<double> multipliers = {0.5 / 6, 1.0 / 6, 2.0 / 6,
+                                           4.0 / 6, 1.0,     8.0 / 6};
+
+  AsciiTable table("Table V — Fed-CDP accuracy by noise scale (C=4)");
+  std::vector<std::string> header = {"dataset"};
+  for (double m : multipliers) {
+    header.push_back("s=" + AsciiTable::fmt(sigma0 * m, 3));
+  }
+  table.set_header(header);
+
+  for (data::BenchmarkId id : data::all_benchmarks()) {
+    data::BenchmarkConfig cfg = data::benchmark_config(id);
+    std::vector<std::string> row = {cfg.name};
+    for (double m : multipliers) {
+      const double sigma = sigma0 * m;
+      core::FedCdpPolicy policy(data::kDefaultClippingBound, sigma);
+      fl::FlExperimentConfig config;
+      config.bench = cfg;
+      config.total_clients = fed.default_clients;
+      config.clients_per_round = fed.default_per_round;
+      if (fed.sweep_rounds > 0) config.rounds = fed.sweep_rounds;
+      config.seed = experiment_seed();
+      config.noise_scale = sigma;
+      fl::FlRunResult result = fl::run_experiment(config, policy);
+      row.push_back(AsciiTable::fmt(result.final_accuracy, 3));
+      std::printf("%s sigma=%.3f -> %.3f\n", cfg.name.c_str(), sigma,
+                  result.final_accuracy);
+    }
+    table.add_row(row);
+  }
+  table.print();
+  std::printf(
+      "paper (sigma 0.5 -> 8): MNIST 0.956 -> 0.934; CIFAR-10 0.646 -> "
+      "0.612; LFW 0.683 -> 0.646; adult 0.838 -> 0.822; cancer 0.993 -> "
+      "0.979.\n"
+      "Expected shape: accuracy decreases monotonically (mildly at first) "
+      "as sigma grows — more noise, less utility.\n");
+  return 0;
+}

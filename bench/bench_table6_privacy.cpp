@@ -1,0 +1,94 @@
+// Table VI: privacy composition (epsilon at delta=1e-5) of Fed-CDP vs
+// Fed-SDP at instance level and client level, for L=1 and L=100 local
+// iterations, across the five benchmarks.
+//
+// This bench is pure accounting — it uses the paper's parameters
+// verbatim (sigma=6, instance-level q=0.01, client-level q=Kt/K=0.1,
+// delta=1e-5, paper round counts) at every FEDCL_SCALE, and reports
+// both our moments accountant (integer-order RDP) and the paper's
+// Equation 2 closed form (c2=1.5), next to the paper's Table VI
+// values.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/accounting.h"
+
+int main() {
+  using namespace fedcl;
+  bench::print_preamble("bench_table6_privacy",
+                        "Table VI: privacy composition (epsilon)");
+
+  struct Row {
+    const char* name;
+    std::int64_t rounds;
+    double paper_cdp_l1;
+    double paper_cdp_l100;
+    double paper_sdp;
+  };
+  // Paper round counts and reported epsilons.
+  const std::vector<Row> rows = {
+      {"MNIST", 100, 0.0845, 0.8227, 0.8536},
+      {"CIFAR-10", 100, 0.0845, 0.8227, 0.8536},
+      {"LFW", 60, 0.0689, 0.6356, 0.6677},
+      {"adult", 10, 0.0494, 0.2761, 0.3025},
+      {"cancer", 3, 0.0467, 0.1469, 0.2065},
+  };
+
+  const double sigma = 6.0, delta = 1e-5;
+  // The paper sets the global instance-level sampling rate to 0.01 for
+  // all datasets and the client-level rate Kt/K to 0.1. Reconstructed
+  // setup: N=50000, B=5, Kt=100, K=1000 gives exactly those rates.
+  auto setup_for = [&](std::int64_t rounds, std::int64_t local_iterations) {
+    return core::FlPrivacySetup{.total_examples = 50000,
+                                .batch_size = 5,
+                                .clients_per_round = 100,
+                                .total_clients = 1000,
+                                .local_iterations = local_iterations,
+                                .rounds = rounds,
+                                .noise_scale = sigma,
+                                .delta = delta};
+  };
+
+  AsciiTable instance("Table VI (a) — instance-level epsilon, delta=1e-5, "
+                      "q=0.01, sigma=6");
+  instance.set_header({"dataset", "T", "Fed-CDP L=1 (MA)", "(closed form)",
+                       "(paper)", "Fed-CDP L=100 (MA)", "(closed form)",
+                       "(paper)", "Fed-SDP"});
+  AsciiTable client("Table VI (b) — client-level epsilon, delta=1e-5, "
+                    "Kt/K=0.1");
+  client.set_header({"dataset", "T", "Fed-CDP L=1", "Fed-CDP L=100",
+                     "Fed-SDP (MA)", "(closed form)", "(paper)"});
+
+  for (const Row& row : rows) {
+    core::PrivacyReport l1 = core::account_privacy(setup_for(row.rounds, 1));
+    core::PrivacyReport l100 =
+        core::account_privacy(setup_for(row.rounds, 100));
+    instance.add_row({row.name, std::to_string(row.rounds),
+                      AsciiTable::fmt(l1.fed_cdp_instance_epsilon),
+                      AsciiTable::fmt(l1.fed_cdp_instance_epsilon_closed_form),
+                      AsciiTable::fmt(row.paper_cdp_l1),
+                      AsciiTable::fmt(l100.fed_cdp_instance_epsilon),
+                      AsciiTable::fmt(
+                          l100.fed_cdp_instance_epsilon_closed_form),
+                      AsciiTable::fmt(row.paper_cdp_l100),
+                      "not supported"});
+    client.add_row({row.name, std::to_string(row.rounds),
+                    AsciiTable::fmt(l1.fed_cdp_client_epsilon),
+                    AsciiTable::fmt(l100.fed_cdp_client_epsilon),
+                    AsciiTable::fmt(l100.fed_sdp_client_epsilon),
+                    AsciiTable::fmt(l100.fed_sdp_client_epsilon_closed_form),
+                    AsciiTable::fmt(row.paper_sdp)});
+  }
+  instance.print();
+  std::printf("\n");
+  client.print();
+  std::printf(
+      "\nExpected shape: Fed-CDP epsilon grows with L*T steps "
+      "(~sqrt); L=1 spends ~10x less than L=100 at T=100; Fed-SDP's "
+      "client-level epsilon is independent of L and exceeds Fed-CDP's "
+      "at the same round count; Fed-SDP provides no instance-level "
+      "guarantee. Paper values track the Equation-2 closed form with "
+      "c2~=1.5; the moments accountant reports the tighter RDP bound.\n");
+  return 0;
+}

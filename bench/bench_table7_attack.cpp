@@ -1,0 +1,68 @@
+// Table VII: attack effectiveness (success Y/N, mean reconstruction
+// distance, mean #attack iterations) of type-0&1 and type-2 gradient
+// leakage against non-private, Fed-SDP, Fed-CDP and Fed-CDP(decay),
+// on MNIST and LFW, averaged over attacked clients. Attack budget is
+// the paper's T=300 iterations.
+#include <cstdio>
+#include <vector>
+
+#include "attack/leakage_eval.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace fedcl;
+  bench::print_preamble("bench_table7_attack",
+                        "Table VII: attack effectiveness by policy");
+
+  std::int64_t clients = 5;
+  if (bench_scale() == BenchScale::kSmoke) clients = 1;
+  if (bench_scale() == BenchScale::kPaper) clients = 100;
+
+  for (data::BenchmarkId id :
+       {data::BenchmarkId::kMnist, data::BenchmarkId::kLfw}) {
+    attack::LeakageExperimentConfig config;
+    config.bench = data::benchmark_config(id);
+    // Smooth activations for a tractable gradient-matching landscape,
+    // as in the DLG/CPL attack setups the paper builds on.
+    config.bench.model.activation = nn::Activation::kSigmoid;
+    config.clients = clients;
+    config.seed = experiment_seed();
+    config.attack.max_iterations = 300;
+
+    bench::PolicySet policies =
+        bench::make_policy_set(config.bench.rounds);
+
+    AsciiTable table("Table VII — " + config.bench.name + " (average over " +
+                     std::to_string(clients) + " clients, budget 300)");
+    table.set_header({"policy", "type-0&1 succeed", "recon distance",
+                      "attack iters", "type-2 succeed", "recon distance",
+                      "attack iters"});
+    for (const core::PrivacyPolicy* policy : policies.all()) {
+      attack::LeakageReport report =
+          attack::evaluate_leakage(config, *policy);
+      table.add_row({policy->name(),
+                     bench::yes_no(report.type01.any_success),
+                     AsciiTable::fmt(report.type01.mean_distance),
+                     AsciiTable::fmt(report.type01.mean_iterations, 0),
+                     bench::yes_no(report.type2.any_success),
+                     AsciiTable::fmt(report.type2.mean_distance),
+                     AsciiTable::fmt(report.type2.mean_iterations, 0)});
+      std::printf("%s %s done (t01 %s d=%.3f, t2 %s d=%.3f)\n",
+                  config.bench.name.c_str(), policy->name().c_str(),
+                  report.type01.any_success ? "Y" : "N",
+                  report.type01.mean_distance,
+                  report.type2.any_success ? "Y" : "N",
+                  report.type2.mean_distance);
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper (MNIST): type-0&1 — non-private Y d=0.155 it=6; all DP "
+      "policies N d=0.70..0.94 it=300. type-2 — non-private AND Fed-SDP "
+      "Y d=0.0008 it=7; Fed-CDP/decay N d=0.74/0.94 it=300.\n"
+      "Expected shape: non-private leaks everywhere; Fed-SDP stops "
+      "type-0&1 but NOT type-2; Fed-CDP and Fed-CDP(decay) stop all "
+      "three, decay with the largest reconstruction distance.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared helpers for the per-table/figure bench binaries.
+//
+// Every bench prints (1) the run configuration, (2) a table with the
+// same row/column structure as the paper's table or figure, and
+// (3) the paper's reported values where applicable, so shape
+// comparisons (who wins, by how much, where crossovers fall) are
+// immediate. Scale comes from FEDCL_SCALE (see data/benchmarks.h).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/table.h"
+#include "core/policy.h"
+#include "data/benchmarks.h"
+
+namespace fedcl::bench {
+
+// The four policies of the paper's headline comparisons, built with
+// the scale-calibrated noise level.
+struct PolicySet {
+  std::unique_ptr<core::PrivacyPolicy> non_private;
+  std::unique_ptr<core::FedSdpPolicy> fed_sdp;
+  std::unique_ptr<core::FedCdpPolicy> fed_cdp;
+  std::unique_ptr<core::FedCdpPolicy> fed_cdp_decay;
+
+  std::vector<const core::PrivacyPolicy*> all() const {
+    return {non_private.get(), fed_sdp.get(), fed_cdp.get(),
+            fed_cdp_decay.get()};
+  }
+};
+
+inline PolicySet make_policy_set(std::int64_t total_rounds,
+                                 double sigma = data::default_noise_scale(),
+                                 double c = data::kDefaultClippingBound) {
+  PolicySet set;
+  set.non_private = core::make_non_private();
+  set.fed_sdp = core::make_fed_sdp(c, sigma);
+  set.fed_cdp = core::make_fed_cdp(c, sigma);
+  set.fed_cdp_decay = core::make_fed_cdp_decay(
+      total_rounds, data::kDecayClipStart, data::kDecayClipEnd, sigma);
+  return set;
+}
+
+// Scale-dependent federation sizes used by the training benches. The
+// paper simulates K up to 10000 with Kt up to 50%; the scaled runs
+// shrink K while keeping the Kt/K percentages.
+struct FederationScale {
+  std::vector<std::int64_t> total_clients;  // the K column group
+  std::int64_t default_clients = 20;        // K for single-config benches
+  std::int64_t default_per_round = 10;      // Kt
+  std::int64_t sweep_rounds = 0;            // T override for sweeps (0: bench default)
+};
+
+inline FederationScale federation_scale() {
+  switch (bench_scale()) {
+    case BenchScale::kSmoke:
+      return {{4, 8}, 4, 2, 2};
+    case BenchScale::kSmall:
+      return {{20, 50, 100}, 20, 10, 15};
+    case BenchScale::kPaper:
+      return {{100, 1000, 10000}, 1000, 100, 0};
+  }
+  return {{20, 50, 100}, 20, 10, 15};
+}
+
+inline void print_preamble(const char* bench_name, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s — reproduces %s\n", bench_name, paper_ref);
+  std::printf("scale: %s (FEDCL_SCALE), seed: %llu (FEDCL_SEED)\n",
+              bench_scale_name(bench_scale()),
+              static_cast<unsigned long long>(experiment_seed()));
+  std::printf("==============================================================\n");
+}
+
+inline std::string yes_no(bool v) { return v ? "Y" : "N"; }
+
+}  // namespace fedcl::bench

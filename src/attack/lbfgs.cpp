@@ -1,0 +1,254 @@
+#include "attack/lbfgs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/error.h"
+
+namespace fedcl::attack {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double inf_norm(const std::vector<double>& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void axpy(std::vector<double>& y, const std::vector<double>& x, double a) {
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+}
+
+struct CurvaturePair {
+  std::vector<double> s;  // x_{k+1} - x_k
+  std::vector<double> y;  // g_{k+1} - g_k
+  double rho;             // 1 / (y^T s)
+};
+
+// Strong-Wolfe line search (Nocedal & Wright, Alg. 3.5/3.6) along
+// `direction` from x. phi(a) = f(x + a*direction). On success fills
+// out_x/out_grad/out_loss with the accepted point and returns true.
+class WolfeSearch {
+ public:
+  WolfeSearch(const LbfgsObjective& f, const std::vector<double>& x,
+              const std::vector<double>& direction, double loss0,
+              double dphi0, int max_evals)
+      : f_(f),
+        x_(x),
+        direction_(direction),
+        loss0_(loss0),
+        dphi0_(dphi0),
+        max_evals_(max_evals),
+        trial_x_(x.size()),
+        trial_grad_(x.size()) {}
+
+  bool search(double initial_step, std::vector<double>& out_x,
+              std::vector<double>& out_grad, double& out_loss) {
+    constexpr double kC1 = 1e-4;
+    constexpr double kC2 = 0.9;
+    double a_prev = 0.0, phi_prev = loss0_, dphi_prev = dphi0_;
+    double a = initial_step;
+    for (int i = 0; i < max_evals_; ++i) {
+      double phi = eval(a);
+      double dphi = dot(trial_grad_, direction_);
+      if (!std::isfinite(phi) || phi > loss0_ + kC1 * a * dphi0_ ||
+          (i > 0 && phi >= phi_prev)) {
+        return zoom(a_prev, phi_prev, dphi_prev, a, phi, kC1, kC2, out_x,
+                    out_grad, out_loss);
+      }
+      if (std::abs(dphi) <= -kC2 * dphi0_) {
+        accept(phi, out_x, out_grad, out_loss);
+        return true;
+      }
+      if (dphi >= 0.0) {
+        return zoom(a, phi, dphi, a_prev, phi_prev, kC1, kC2, out_x,
+                    out_grad, out_loss);
+      }
+      a_prev = a;
+      phi_prev = phi;
+      dphi_prev = dphi;
+      a *= 2.0;
+    }
+    return false;
+  }
+
+ private:
+  double eval(double a) {
+    trial_x_ = x_;
+    axpy(trial_x_, direction_, a);
+    return f_(trial_x_, trial_grad_);
+  }
+
+  void accept(double phi, std::vector<double>& out_x,
+              std::vector<double>& out_grad, double& out_loss) {
+    out_x = trial_x_;
+    out_grad = trial_grad_;
+    out_loss = phi;
+  }
+
+  bool zoom(double lo, double phi_lo, double dphi_lo, double hi,
+            double phi_hi, double c1, double c2, std::vector<double>& out_x,
+            std::vector<double>& out_grad, double& out_loss) {
+    (void)phi_hi;
+    for (int i = 0; i < max_evals_; ++i) {
+      // Bisection keeps the implementation simple and is robust; the
+      // interval halves every iteration.
+      const double a = 0.5 * (lo + hi);
+      double phi = eval(a);
+      double dphi = dot(trial_grad_, direction_);
+      if (!std::isfinite(phi) || phi > loss0_ + c1 * a * dphi0_ ||
+          phi >= phi_lo) {
+        hi = a;
+      } else {
+        if (std::abs(dphi) <= -c2 * dphi0_) {
+          accept(phi, out_x, out_grad, out_loss);
+          return true;
+        }
+        if (dphi * (hi - lo) >= 0.0) hi = lo;
+        lo = a;
+        phi_lo = phi;
+        dphi_lo = dphi;
+      }
+      if (std::abs(hi - lo) < 1e-16) break;
+    }
+    (void)dphi_lo;
+    // Fall back to the best sufficient-decrease point found, if any.
+    if (phi_lo < loss0_) {
+      eval(lo);
+      accept(phi_lo, out_x, out_grad, out_loss);
+      return true;
+    }
+    return false;
+  }
+
+  const LbfgsObjective& f_;
+  const std::vector<double>& x_;
+  const std::vector<double>& direction_;
+  double loss0_;
+  double dphi0_;
+  int max_evals_;
+  std::vector<double> trial_x_;
+  std::vector<double> trial_grad_;
+};
+
+}  // namespace
+
+LbfgsResult lbfgs_minimize(std::vector<double>& x, const LbfgsObjective& f,
+                           const LbfgsOptions& options,
+                           const LbfgsCallback& callback) {
+  FEDCL_CHECK(!x.empty());
+  FEDCL_CHECK_GT(options.max_iterations, 0);
+  FEDCL_CHECK_GT(options.history, 0);
+
+  const std::size_t n = x.size();
+  std::vector<double> grad(n), new_grad(n), direction(n), new_x(n);
+  double loss = f(x, grad);
+
+  std::deque<CurvaturePair> pairs;
+  LbfgsResult result;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    if (inf_norm(grad) < options.tolerance_grad) {
+      result.converged = true;
+      break;
+    }
+
+    // Two-loop recursion: direction = -H_k * grad.
+    direction = grad;
+    std::vector<double> alphas(pairs.size());
+    for (std::size_t i = pairs.size(); i-- > 0;) {
+      alphas[i] = pairs[i].rho * dot(pairs[i].s, direction);
+      axpy(direction, pairs[i].y, -alphas[i]);
+    }
+    if (!pairs.empty()) {
+      // Initial Hessian scaling gamma = s^T y / y^T y.
+      const auto& last = pairs.back();
+      const double yy = dot(last.y, last.y);
+      if (yy > 0.0) {
+        const double gamma = 1.0 / (last.rho * yy);
+        for (double& d : direction) d *= gamma;
+      }
+    }
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const double beta = pairs[i].rho * dot(pairs[i].y, direction);
+      axpy(direction, pairs[i].s, alphas[i] - beta);
+    }
+    for (double& d : direction) d = -d;
+
+    double directional = dot(grad, direction);
+    if (directional >= 0.0) {
+      // Not a descent direction (stale curvature): restart from
+      // steepest descent.
+      pairs.clear();
+      for (std::size_t i = 0; i < n; ++i) direction[i] = -grad[i];
+      directional = -dot(grad, grad);
+    }
+
+    WolfeSearch search(f, x, direction, loss, directional,
+                       options.max_line_search_steps);
+    double new_loss = loss;
+    bool accepted =
+        search.search(options.initial_step, new_x, new_grad, new_loss);
+    if (!accepted && !pairs.empty()) {
+      // Quasi-Newton direction stalled: retry once from gradient
+      // descent with a gradient-scaled step.
+      pairs.clear();
+      const double gnorm = std::sqrt(dot(grad, grad));
+      for (std::size_t i = 0; i < n; ++i) direction[i] = -grad[i];
+      directional = -gnorm * gnorm;
+      WolfeSearch retry(f, x, direction, loss, directional,
+                        options.max_line_search_steps);
+      accepted = retry.search(1.0 / (1.0 + gnorm), new_x, new_grad, new_loss);
+    }
+    if (!accepted) {
+      // No improving point found along the gradient either: stationary
+      // for all practical purposes (typical on DP-noised landscapes).
+      result.converged = false;
+      break;
+    }
+
+    // Curvature update.
+    CurvaturePair pair;
+    pair.s.resize(n);
+    pair.y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pair.s[i] = new_x[i] - x[i];
+      pair.y[i] = new_grad[i] - grad[i];
+    }
+    const double ys = dot(pair.y, pair.s);
+    if (ys > 1e-10) {
+      pair.rho = 1.0 / ys;
+      pairs.push_back(std::move(pair));
+      if (static_cast<int>(pairs.size()) > options.history) {
+        pairs.pop_front();
+      }
+    }
+
+    const double change = std::abs(new_loss - loss);
+    x.swap(new_x);
+    grad.swap(new_grad);
+    loss = new_loss;
+
+    if (callback && callback(iter + 1, x, loss)) {
+      result.stopped_by_callback = true;
+      break;
+    }
+    if (change < options.tolerance_change) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.final_loss = loss;
+  return result;
+}
+
+}  // namespace fedcl::attack

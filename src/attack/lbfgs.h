@@ -1,0 +1,46 @@
+// L-BFGS minimizer — the optimizer the paper's reconstruction attack
+// uses (Section III: "L2 based loss function and L-BFGS optimizer").
+//
+// Two-loop recursion over an m-deep curvature history with Armijo
+// backtracking line search; curvature pairs failing the positivity
+// condition are skipped, which keeps the inverse-Hessian estimate
+// positive definite without a full strong-Wolfe search.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fedcl::attack {
+
+struct LbfgsOptions {
+  int max_iterations = 300;
+  int history = 10;  // m: number of curvature pairs retained
+  double tolerance_grad = 1e-9;    // stop when ||g||_inf below this
+  double tolerance_change = 1e-12; // stop when |loss change| below this
+  int max_line_search_steps = 20;
+  double initial_step = 1.0;
+};
+
+struct LbfgsResult {
+  double final_loss = 0.0;
+  int iterations = 0;
+  bool converged = false;       // hit a tolerance (vs. iteration budget)
+  bool stopped_by_callback = false;
+};
+
+// Objective: returns loss at x and fills grad (same size as x).
+using LbfgsObjective =
+    std::function<double(const std::vector<double>& x, std::vector<double>& grad)>;
+
+// Per-iteration observer; return true to stop early (e.g. when the
+// attack's reconstruction distance crosses the success threshold).
+using LbfgsCallback =
+    std::function<bool(int iteration, const std::vector<double>& x, double loss)>;
+
+// Minimizes f starting from (and updating) x.
+LbfgsResult lbfgs_minimize(std::vector<double>& x, const LbfgsObjective& f,
+                           const LbfgsOptions& options,
+                           const LbfgsCallback& callback = nullptr);
+
+}  // namespace fedcl::attack

@@ -1,0 +1,71 @@
+#include "attack/seed_init.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fedcl::attack {
+
+namespace {
+constexpr std::int64_t kPatchSide = 4;
+}
+
+const char* seed_init_name(SeedInit init) {
+  switch (init) {
+    case SeedInit::kPatternedRandom:
+      return "patterned-random";
+    case SeedInit::kUniformRandom:
+      return "uniform-random";
+    case SeedInit::kConstant:
+      return "constant";
+  }
+  return "?";
+}
+
+tensor::Tensor make_attack_seed(const tensor::Shape& shape, SeedInit init,
+                                Rng& rng) {
+  FEDCL_CHECK(!shape.empty());
+  switch (init) {
+    case SeedInit::kUniformRandom:
+      return tensor::Tensor::uniform(shape, rng, 0.0f, 1.0f);
+    case SeedInit::kConstant:
+      return tensor::Tensor::full(shape, 0.5f);
+    case SeedInit::kPatternedRandom:
+      break;
+  }
+  // Patterned random: tile a kPatchSide^2 random patch.
+  tensor::Tensor seed(shape);
+  if (shape.size() == 4) {
+    // [N, H, W, C]: tile spatially, independent per channel.
+    const std::int64_t n = shape[0], h = shape[1], w = shape[2], c = shape[3];
+    tensor::Tensor patch =
+        tensor::Tensor::uniform({kPatchSide, kPatchSide, c}, rng, 0.0f, 1.0f);
+    float* dst = seed.data();
+    const float* p = patch.data();
+    for (std::int64_t b = 0; b < n; ++b) {
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          for (std::int64_t ch = 0; ch < c; ++ch) {
+            dst[((b * h + y) * w + x) * c + ch] =
+                p[((y % kPatchSide) * kPatchSide + (x % kPatchSide)) * c + ch];
+          }
+        }
+      }
+    }
+    return seed;
+  }
+  // Flat inputs [N, D]: repeat a random stretch of kPatchSide^2 values.
+  const std::int64_t period = kPatchSide * kPatchSide;
+  tensor::Tensor patch = tensor::Tensor::uniform({period}, rng, 0.0f, 1.0f);
+  const std::int64_t n = shape[0];
+  const std::int64_t d = seed.numel() / n;
+  float* dst = seed.data();
+  const float* p = patch.data();
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      dst[b * d + j] = p[j % period];
+    }
+  }
+  return seed;
+}
+
+}  // namespace fedcl::attack

@@ -1,0 +1,33 @@
+// Attack seed (dummy input) initializers.
+//
+// The paper (via the CPL framework it builds on) reports that the
+// initialization of the dummy input materially changes attack success
+// rate and cost, and uses "patterned random" seeds for all
+// experiments: a small random patch tiled across the input, which
+// gives the optimizer a low-frequency, spatially correlated starting
+// point.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace fedcl {
+class Rng;
+}
+
+namespace fedcl::attack {
+
+enum class SeedInit {
+  kPatternedRandom,  // random patch tiled over the input (paper default)
+  kUniformRandom,    // i.i.d. U[0,1)
+  kConstant,         // all 0.5
+};
+
+const char* seed_init_name(SeedInit init);
+
+// shape includes the batch dimension, e.g. {1, H, W, C} or {B, D}.
+tensor::Tensor make_attack_seed(const tensor::Shape& shape, SeedInit init,
+                                Rng& rng);
+
+}  // namespace fedcl::attack

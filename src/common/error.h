@@ -1,0 +1,67 @@
+// Error handling primitives shared by all fedcl modules.
+//
+// We use exceptions for contract violations (CHECK) because every
+// public entry point of the library validates its inputs and a violated
+// precondition indicates a programming error by the caller; tests
+// assert on these throws.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fedcl {
+
+// Thrown on any violated precondition or internal invariant.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FEDCL_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+// Accumulates a streamed message for FEDCL_CHECK(cond) << "detail".
+class CheckMessage {
+ public:
+  CheckMessage(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    check_failed(expr_, file_, line_, os_.str());
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace fedcl
+
+// FEDCL_CHECK(cond) << "message"; throws fedcl::Error when cond is false.
+#define FEDCL_CHECK(cond)                                             \
+  if (cond) {                                                         \
+  } else                                                              \
+    ::fedcl::detail::CheckMessage(#cond, __FILE__, __LINE__)
+
+// Convenience comparisons with value reporting.
+#define FEDCL_CHECK_EQ(a, b) FEDCL_CHECK((a) == (b)) << (a) << " vs " << (b)
+#define FEDCL_CHECK_NE(a, b) FEDCL_CHECK((a) != (b)) << (a) << " vs " << (b)
+#define FEDCL_CHECK_LT(a, b) FEDCL_CHECK((a) < (b)) << (a) << " vs " << (b)
+#define FEDCL_CHECK_LE(a, b) FEDCL_CHECK((a) <= (b)) << (a) << " vs " << (b)
+#define FEDCL_CHECK_GT(a, b) FEDCL_CHECK((a) > (b)) << (a) << " vs " << (b)
+#define FEDCL_CHECK_GE(a, b) FEDCL_CHECK((a) >= (b)) << (a) << " vs " << (b)

@@ -1,0 +1,74 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace fedcl {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  FEDCL_CHECK_GE(argc, 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    FEDCL_CHECK(!body.empty()) << "bare -- argument";
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool FlagParser::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::get(const std::string& name,
+                            const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t FlagParser::get_int(const std::string& name,
+                                 std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  FEDCL_CHECK(end != it->second.c_str() && *end == '\0')
+      << "--" << name << " expects an integer, got '" << it->second << "'";
+  return static_cast<std::int64_t>(v);
+}
+
+double FlagParser::get_double(const std::string& name,
+                              double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  FEDCL_CHECK(end != it->second.c_str() && *end == '\0')
+      << "--" << name << " expects a number, got '" << it->second << "'";
+  return v;
+}
+
+bool FlagParser::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  FEDCL_CHECK(false) << "--" << name << " expects a boolean, got '" << v
+                     << "'";
+  return fallback;
+}
+
+}  // namespace fedcl

@@ -1,0 +1,33 @@
+// Minimal command-line flag parsing for the example binaries:
+// --name=value and --name value forms, plus positional arguments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fedcl {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  // "true"/"1"/"yes" (case sensitive) => true; bare "--flag" => true.
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fedcl

@@ -1,0 +1,39 @@
+// Minimal leveled logger. Thread-safe line output to stderr.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace fedcl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+void emit_log_line(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  ~LogMessage() { emit_log_line(level_, os_.str()); }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace fedcl
+
+#define FEDCL_LOG(level) \
+  ::fedcl::detail::LogMessage(::fedcl::LogLevel::k##level)

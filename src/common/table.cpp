@@ -1,0 +1,69 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace fedcl {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string AsciiTable::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  FEDCL_CHECK_GT(cols, 0u) << "empty table";
+
+  std::vector<std::size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  if (!header_.empty()) measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  std::ostringstream os;
+  auto hline = [&]() {
+    os << '+';
+    for (std::size_t i = 0; i < cols; ++i)
+      os << std::string(width[i] + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t i = 0; i < cols; ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      os << ' ' << cell << std::string(width[i] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  hline();
+  if (!header_.empty()) {
+    emit(header_);
+    hline();
+  }
+  for (const auto& r : rows_) emit(r);
+  hline();
+  return os.str();
+}
+
+void AsciiTable::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace fedcl

@@ -1,0 +1,31 @@
+// ASCII table rendering for bench output. Benches print the same row
+// and column structure as the paper's tables, so results are easy to
+// compare side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fedcl {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  // Formats a double with the given precision (trailing zeros kept so
+  // columns align).
+  static std::string fmt(double v, int precision = 4);
+
+  std::string render() const;
+  void print() const;  // render to stdout
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fedcl

@@ -1,0 +1,45 @@
+// Fixed-size thread pool used to run per-client local training in
+// parallel within a federated round. Clients are independent, so the
+// pool needs no work stealing — a single shared queue suffices.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedcl {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 selects std::thread::hardware_concurrency() (>= 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task and returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for all.
+  // Exceptions from tasks propagate out of parallel_for (first one).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace fedcl

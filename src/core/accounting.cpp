@@ -1,0 +1,48 @@
+#include "core/accounting.h"
+
+#include "common/error.h"
+#include "dp/accountant.h"
+
+namespace fedcl::core {
+
+PrivacyReport account_privacy(const FlPrivacySetup& setup) {
+  FEDCL_CHECK_GT(setup.total_examples, 0);
+  FEDCL_CHECK_GT(setup.batch_size, 0);
+  FEDCL_CHECK_GT(setup.clients_per_round, 0);
+  FEDCL_CHECK_GE(setup.total_clients, setup.clients_per_round);
+  FEDCL_CHECK_GT(setup.local_iterations, 0);
+  FEDCL_CHECK_GT(setup.rounds, 0);
+  FEDCL_CHECK_GT(setup.noise_scale, 0.0);
+
+  PrivacyReport report;
+  report.instance_q =
+      static_cast<double>(setup.batch_size * setup.clients_per_round) /
+      static_cast<double>(setup.total_examples);
+  report.client_q = static_cast<double>(setup.clients_per_round) /
+                    static_cast<double>(setup.total_clients);
+  FEDCL_CHECK_LE(report.instance_q, 1.0)
+      << "B*Kt exceeds the global dataset size";
+  report.instance_steps = setup.rounds * setup.local_iterations;
+  report.client_steps = setup.rounds;
+
+  dp::MomentsAccountant instance_acc(report.instance_q, setup.noise_scale);
+  dp::MomentsAccountant client_acc(report.client_q, setup.noise_scale);
+  report.sampling_condition_ok = instance_acc.sampling_condition_ok();
+
+  report.fed_cdp_instance_epsilon =
+      instance_acc.epsilon(report.instance_steps, setup.delta);
+  // Billboard lemma: the client-level joint-DP budget equals the
+  // instance-level budget of the released global model.
+  report.fed_cdp_client_epsilon = report.fed_cdp_instance_epsilon;
+  report.fed_sdp_client_epsilon =
+      client_acc.epsilon(report.client_steps, setup.delta);
+
+  report.fed_cdp_instance_epsilon_closed_form = dp::abadi_bound_epsilon(
+      report.instance_q, setup.noise_scale, report.instance_steps,
+      setup.delta);
+  report.fed_sdp_client_epsilon_closed_form = dp::abadi_bound_epsilon(
+      report.client_q, setup.noise_scale, report.client_steps, setup.delta);
+  return report;
+}
+
+}  // namespace fedcl::core

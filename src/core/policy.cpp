@@ -1,0 +1,171 @@
+#include "core/policy.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fedcl::core {
+
+void PrivacyPolicy::sanitize_per_example(TensorList&, const ParamGroups&,
+                                         std::int64_t, Rng&) const {}
+
+void PrivacyPolicy::sanitize_client_update(TensorList&, const ParamGroups&,
+                                           std::int64_t, Rng&) const {}
+
+void PrivacyPolicy::sanitize_at_server(TensorList&, const ParamGroups&,
+                                       std::int64_t, Rng&) const {}
+
+FedSdpPolicy::FedSdpPolicy(double clipping_bound, double noise_scale,
+                           bool noise_at_server)
+    : clip_(clipping_bound),
+      mechanism_(noise_scale, clipping_bound),
+      noise_at_server_(noise_at_server) {
+  FEDCL_CHECK_GT(clipping_bound, 0.0);
+}
+
+void FedSdpPolicy::sanitize_client_update(TensorList& update,
+                                          const ParamGroups& groups,
+                                          std::int64_t /*round*/,
+                                          Rng& rng) const {
+  // Algorithm 1 lines 6-11: clip the per-client update layer by layer.
+  dp::clip_per_layer(update, groups, clip_);
+  if (!noise_at_server_) {
+    // Line 13 executed at the client: noise before the update leaves
+    // the device, protecting both type-0 and type-1 observation points.
+    mechanism_.sanitize(update, rng);
+  }
+}
+
+void FedSdpPolicy::sanitize_at_server(TensorList& update,
+                                      const ParamGroups& /*groups*/,
+                                      std::int64_t /*round*/,
+                                      Rng& rng) const {
+  if (noise_at_server_) {
+    mechanism_.sanitize(update, rng);
+  }
+}
+
+const char* clip_granularity_name(ClipGranularity g) {
+  switch (g) {
+    case ClipGranularity::kPerLayer:
+      return "per-layer";
+    case ClipGranularity::kPerParameter:
+      return "per-parameter";
+    case ClipGranularity::kGlobal:
+      return "global";
+  }
+  return "?";
+}
+
+ParamGroups effective_groups(ClipGranularity granularity,
+                             const ParamGroups& layer_groups,
+                             std::size_t param_count) {
+  switch (granularity) {
+    case ClipGranularity::kPerLayer:
+      return layer_groups;
+    case ClipGranularity::kPerParameter: {
+      ParamGroups out;
+      out.reserve(param_count);
+      for (std::size_t i = 0; i < param_count; ++i) out.push_back({i});
+      return out;
+    }
+    case ClipGranularity::kGlobal:
+      return dp::single_group(param_count);
+  }
+  return layer_groups;
+}
+
+FedCdpPolicy::FedCdpPolicy(double clipping_bound, double noise_scale)
+    : schedule_(dp::ClippingSchedule::constant(clipping_bound)),
+      sigma_(noise_scale),
+      decay_label_(false) {
+  FEDCL_CHECK_GE(noise_scale, 0.0);
+}
+
+FedCdpPolicy::FedCdpPolicy(dp::ClippingSchedule schedule, double noise_scale,
+                           bool decay_label, ClipGranularity granularity)
+    : schedule_(schedule),
+      sigma_(noise_scale),
+      decay_label_(decay_label),
+      granularity_(granularity) {
+  FEDCL_CHECK_GE(noise_scale, 0.0);
+}
+
+std::string FedCdpPolicy::name() const {
+  return decay_label_ ? "Fed-CDP(decay)" : "Fed-CDP";
+}
+
+double FedCdpPolicy::clipping_bound_at(std::int64_t round) const {
+  return schedule_.bound_at(round);
+}
+
+void FedCdpPolicy::sanitize_per_example(TensorList& grad,
+                                        const ParamGroups& groups,
+                                        std::int64_t round, Rng& rng) const {
+  // Algorithm 2 lines 9-12: per-layer clip of this example's gradient,
+  // then line 14's Gaussian noise with S <- C(round). The noise is
+  // added to every example's gradient (inside the batch sum).
+  const double c = schedule_.bound_at(round);
+  const ParamGroups clip_groups =
+      effective_groups(granularity_, groups, grad.size());
+  dp::clip_per_layer(grad, clip_groups, c);
+  dp::GaussianMechanism mechanism(sigma_, c);
+  mechanism.sanitize(grad, rng);
+}
+
+FedCdpAdaptivePolicy::FedCdpAdaptivePolicy(double initial_bound,
+                                           double noise_scale,
+                                           std::size_t window)
+    : initial_bound_(initial_bound),
+      sigma_(noise_scale),
+      estimator_(window) {
+  FEDCL_CHECK_GT(initial_bound, 0.0);
+  FEDCL_CHECK_GE(noise_scale, 0.0);
+}
+
+double FedCdpAdaptivePolicy::current_bound() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return estimator_.ready() ? estimator_.median() : initial_bound_;
+}
+
+void FedCdpAdaptivePolicy::sanitize_per_example(TensorList& grad,
+                                                const ParamGroups& groups,
+                                                std::int64_t /*round*/,
+                                                Rng& rng) const {
+  double bound = initial_bound_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (estimator_.ready()) bound = estimator_.median();
+  }
+  // Clip at the current median-of-norms bound...
+  const std::vector<double> norms = dp::clip_per_layer(grad, groups, bound);
+  dp::GaussianMechanism mechanism(sigma_, bound);
+  mechanism.sanitize(grad, rng);
+  // ...then fold this example's pre-clip norms into the estimator for
+  // subsequent sanitizations.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (double norm : norms) {
+    if (norm > 0.0) estimator_.observe(norm);
+  }
+}
+
+std::unique_ptr<PrivacyPolicy> make_non_private() {
+  return std::make_unique<NonPrivatePolicy>();
+}
+
+std::unique_ptr<FedSdpPolicy> make_fed_sdp(double c, double sigma) {
+  return std::make_unique<FedSdpPolicy>(c, sigma);
+}
+
+std::unique_ptr<FedCdpPolicy> make_fed_cdp(double c, double sigma) {
+  return std::make_unique<FedCdpPolicy>(c, sigma);
+}
+
+std::unique_ptr<FedCdpPolicy> make_fed_cdp_decay(std::int64_t total_rounds,
+                                                 double c_start, double c_end,
+                                                 double sigma) {
+  return std::make_unique<FedCdpPolicy>(
+      dp::ClippingSchedule::linear(c_start, c_end, total_rounds), sigma,
+      /*decay_label=*/true);
+}
+
+}  // namespace fedcl::core

@@ -1,0 +1,67 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fedcl::data {
+
+std::vector<ClientData> partition(std::shared_ptr<const Dataset> base,
+                                  const PartitionSpec& spec, Rng& rng) {
+  FEDCL_CHECK(base != nullptr);
+  FEDCL_CHECK_GT(spec.num_clients, 0);
+  FEDCL_CHECK_GT(spec.data_per_client, 0);
+
+  std::vector<ClientData> clients;
+  clients.reserve(static_cast<std::size_t>(spec.num_clients));
+
+  if (spec.classes_per_client <= 0) {
+    // Full-copy mode: every client sees the entire dataset.
+    std::vector<std::int64_t> all(static_cast<std::size_t>(base->size()));
+    std::iota(all.begin(), all.end(), 0);
+    for (std::int64_t c = 0; c < spec.num_clients; ++c) {
+      clients.emplace_back(base, all);
+    }
+    return clients;
+  }
+
+  const std::int64_t z = base->num_classes();
+  FEDCL_CHECK_LE(spec.classes_per_client, z);
+  std::vector<std::vector<std::int64_t>> by_class(
+      static_cast<std::size_t>(z));
+  for (std::int64_t c = 0; c < z; ++c) {
+    by_class[static_cast<std::size_t>(c)] = base->indices_of_class(c);
+    FEDCL_CHECK(!by_class[static_cast<std::size_t>(c)].empty())
+        << "class " << c << " has no examples";
+  }
+
+  for (std::int64_t k = 0; k < spec.num_clients; ++k) {
+    Rng crng = rng.fork("partition", static_cast<std::uint64_t>(k));
+    // Pick the client's classes without replacement.
+    std::vector<std::size_t> class_pick = crng.sample_without_replacement(
+        static_cast<std::size_t>(z),
+        static_cast<std::size_t>(spec.classes_per_client));
+    std::vector<std::int64_t> indices;
+    indices.reserve(static_cast<std::size_t>(spec.data_per_client));
+    const std::int64_t per_class =
+        spec.data_per_client / spec.classes_per_client;
+    std::int64_t remaining = spec.data_per_client;
+    for (std::size_t ci = 0; ci < class_pick.size(); ++ci) {
+      const auto& pool = by_class[class_pick[ci]];
+      const std::int64_t want =
+          (ci + 1 == class_pick.size()) ? remaining : per_class;
+      for (std::int64_t j = 0; j < want; ++j) {
+        const std::size_t pick = static_cast<std::size_t>(
+            crng.uniform_int(static_cast<std::uint64_t>(pool.size())));
+        indices.push_back(pool[pick]);
+      }
+      remaining -= want;
+    }
+    clients.emplace_back(base, std::move(indices));
+  }
+  return clients;
+}
+
+}  // namespace fedcl::data

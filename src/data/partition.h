@@ -1,0 +1,32 @@
+// Non-IID shard partitioning of a dataset across federated clients.
+//
+// Mirrors the paper's setup (Section VII): examples are grouped by
+// class into shards and each client receives shards from a small
+// number of classes (2 for MNIST/CIFAR, ~15 for LFW), holding
+// `data_per_client` examples total.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fedcl::data {
+
+struct PartitionSpec {
+  std::int64_t num_clients = 0;
+  std::int64_t data_per_client = 0;
+  // Number of distinct classes per client; 0 means every client holds a
+  // full copy of the dataset (the paper's breast-cancer setting).
+  std::int64_t classes_per_client = 2;
+};
+
+// Deterministic for a given rng. Clients draw from class pools with
+// replacement when a pool is smaller than the demand, so any
+// num_clients is serviceable (matching the random shard assignment in
+// the paper's simulator).
+std::vector<ClientData> partition(std::shared_ptr<const Dataset> base,
+                                  const PartitionSpec& spec, Rng& rng);
+
+}  // namespace fedcl::data

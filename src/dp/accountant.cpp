@@ -1,0 +1,135 @@
+#include "dp/accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace fedcl::dp {
+
+namespace {
+
+// log(n choose k) via lgamma.
+double log_binom(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+double logsumexp(const std::vector<double>& xs) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double x : xs) m = std::max(m, x);
+  if (!std::isfinite(m)) return m;
+  double s = 0.0;
+  for (double x : xs) s += std::exp(x - m);
+  return m + std::log(s);
+}
+
+}  // namespace
+
+MomentsAccountant::MomentsAccountant(double sampling_rate, double noise_scale,
+                                     int max_order)
+    : q_(sampling_rate), sigma_(noise_scale), max_order_(max_order) {
+  FEDCL_CHECK(q_ >= 0.0 && q_ <= 1.0) << "q " << q_;
+  FEDCL_CHECK_GT(sigma_, 0.0);
+  FEDCL_CHECK_GE(max_order_, 2);
+}
+
+bool MomentsAccountant::sampling_condition_ok() const {
+  return q_ < 1.0 / (16.0 * sigma_);
+}
+
+double MomentsAccountant::rdp_one_step(int alpha) const {
+  FEDCL_CHECK_GE(alpha, 2);
+  if (q_ == 0.0) return 0.0;
+  if (q_ == 1.0) {
+    // Plain Gaussian mechanism: RDP(alpha) = alpha / (2 sigma^2).
+    return alpha / (2.0 * sigma_ * sigma_);
+  }
+  // Mironov et al. (2019) integer-order upper bound for sampled
+  // Gaussian:  (1/(alpha-1)) * log sum_{k=0..alpha} C(alpha,k)
+  //            (1-q)^{alpha-k} q^k exp(k(k-1)/(2 sigma^2)).
+  std::vector<double> terms;
+  terms.reserve(alpha + 1);
+  const double log_q = std::log(q_);
+  const double log_1mq = std::log1p(-q_);
+  for (int k = 0; k <= alpha; ++k) {
+    const double t = log_binom(alpha, k) + (alpha - k) * log_1mq +
+                     k * log_q + k * (k - 1) / (2.0 * sigma_ * sigma_);
+    terms.push_back(t);
+  }
+  const double log_moment = logsumexp(terms);
+  return std::max(0.0, log_moment / (alpha - 1));
+}
+
+std::pair<double, int> MomentsAccountant::epsilon_with_order(
+    std::int64_t steps, double delta, RdpConversion conversion) const {
+  FEDCL_CHECK_GE(steps, 0);
+  FEDCL_CHECK(delta > 0.0 && delta < 1.0) << "delta " << delta;
+  if (steps == 0 || q_ == 0.0) return {0.0, 2};
+  double best_eps = std::numeric_limits<double>::infinity();
+  int best_order = 2;
+  const double log_inv_delta = std::log(1.0 / delta);
+  for (int alpha = 2; alpha <= max_order_; ++alpha) {
+    const double rdp = rdp_one_step(alpha) * static_cast<double>(steps);
+    double eps = 0.0;
+    switch (conversion) {
+      case RdpConversion::kClassic:
+        eps = rdp + log_inv_delta / (alpha - 1);
+        break;
+      case RdpConversion::kImproved:
+        eps = rdp + std::log((alpha - 1.0) / alpha) +
+              (log_inv_delta - std::log(static_cast<double>(alpha))) /
+                  (alpha - 1);
+        break;
+    }
+    if (eps < best_eps) {
+      best_eps = eps;
+      best_order = alpha;
+    }
+  }
+  return {std::max(0.0, best_eps), best_order};
+}
+
+double MomentsAccountant::epsilon(std::int64_t steps, double delta,
+                                  RdpConversion conversion) const {
+  return epsilon_with_order(steps, delta, conversion).first;
+}
+
+double abadi_bound_epsilon(double q, double sigma, std::int64_t steps,
+                           double delta, double c2) {
+  FEDCL_CHECK(q >= 0.0 && q <= 1.0);
+  FEDCL_CHECK_GT(sigma, 0.0);
+  FEDCL_CHECK_GE(steps, 0);
+  FEDCL_CHECK(delta > 0.0 && delta < 1.0);
+  FEDCL_CHECK_GT(c2, 0.0);
+  return c2 * q *
+         std::sqrt(static_cast<double>(steps) * std::log(1.0 / delta)) /
+         sigma;
+}
+
+double basic_composition_epsilon(double q, double sigma, std::int64_t steps,
+                                 double delta) {
+  FEDCL_CHECK_GT(steps, 0);
+  FEDCL_CHECK(delta > 0.0 && delta < 1.0);
+  // Budget half of delta to the per-step mechanisms, half to slack.
+  const double per_step_delta = delta / (2.0 * static_cast<double>(steps));
+  // Lemma 1 inverted: eps' = sqrt(2 log(1.25/delta')) / sigma.
+  const double eps_step =
+      std::sqrt(2.0 * std::log(1.25 / per_step_delta)) / sigma;
+  auto [amplified_eps, amplified_delta] =
+      amplify_by_subsampling(eps_step, per_step_delta, q);
+  (void)amplified_delta;
+  return amplified_eps * static_cast<double>(steps);
+}
+
+std::pair<double, double> amplify_by_subsampling(double epsilon, double delta,
+                                                 double q) {
+  FEDCL_CHECK(q >= 0.0 && q <= 1.0);
+  FEDCL_CHECK_GE(epsilon, 0.0);
+  // Definition 3: (log(1 + q(e^eps - 1)), q delta).
+  return {std::log1p(q * (std::exp(epsilon) - 1.0)), q * delta};
+}
+
+}  // namespace fedcl::dp

@@ -1,0 +1,30 @@
+#include "dp/adaptive_clipping.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace fedcl::dp {
+
+MedianNormEstimator::MedianNormEstimator(std::size_t window)
+    : capacity_(window) {
+  FEDCL_CHECK_GT(window, 0u);
+}
+
+void MedianNormEstimator::observe(double norm) {
+  FEDCL_CHECK_GE(norm, 0.0);
+  window_.push_back(norm);
+  if (window_.size() > capacity_) window_.pop_front();
+}
+
+double MedianNormEstimator::median() const {
+  FEDCL_CHECK(ready()) << "median of zero observations";
+  std::vector<double> sorted(window_.begin(), window_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+}  // namespace fedcl::dp

@@ -1,0 +1,39 @@
+// The Gaussian mechanism (Definition 2): additive noise
+// N(0, sigma^2 * S^2) calibrated to sensitivity S.
+#pragma once
+
+#include "tensor/tensor_list.h"
+
+namespace fedcl {
+class Rng;
+}
+
+namespace fedcl::dp {
+
+using tensor::Tensor;
+using tensor::list::TensorList;
+
+class GaussianMechanism {
+ public:
+  // noise_scale is the paper's sigma; sensitivity is S (set to the
+  // clipping bound C in both Fed-SDP and Fed-CDP).
+  GaussianMechanism(double noise_scale, double sensitivity);
+
+  double noise_scale() const { return noise_scale_; }
+  double sensitivity() const { return sensitivity_; }
+  double noise_stddev() const { return noise_scale_ * sensitivity_; }
+
+  // Adds N(0, (sigma*S)^2) i.i.d. to every coordinate.
+  void sanitize(TensorList& update, Rng& rng) const;
+  void sanitize(Tensor& update, Rng& rng) const;
+
+  // The minimal sigma that makes one application (epsilon, delta)-DP
+  // per Definition 2 / Lemma 1 (valid for 0 < epsilon < 1).
+  static double sigma_for(double epsilon, double delta);
+
+ private:
+  double noise_scale_;
+  double sensitivity_;
+};
+
+}  // namespace fedcl::dp

@@ -1,0 +1,37 @@
+#include "dp/laplace.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fedcl::dp {
+
+LaplaceMechanism::LaplaceMechanism(double epsilon, double l1_sensitivity)
+    : epsilon_(epsilon), sensitivity_(l1_sensitivity) {
+  FEDCL_CHECK_GT(epsilon, 0.0);
+  FEDCL_CHECK_GT(l1_sensitivity, 0.0);
+}
+
+double LaplaceMechanism::sample(Rng& rng, double b) {
+  FEDCL_CHECK_GT(b, 0.0);
+  // Inverse CDF: u in (-1/2, 1/2), x = -b * sign(u) * ln(1 - 2|u|).
+  const double u = rng.uniform() - 0.5;
+  const double sign = u < 0.0 ? -1.0 : 1.0;
+  return -b * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+void LaplaceMechanism::sanitize(tensor::Tensor& update, Rng& rng) const {
+  const double b = scale();
+  float* p = update.data();
+  for (std::int64_t i = 0; i < update.numel(); ++i) {
+    p[i] += static_cast<float>(sample(rng, b));
+  }
+}
+
+void LaplaceMechanism::sanitize(tensor::list::TensorList& update,
+                                Rng& rng) const {
+  for (auto& t : update) sanitize(t, rng);
+}
+
+}  // namespace fedcl::dp

@@ -1,0 +1,35 @@
+// The Laplace mechanism — the classic epsilon-DP alternative to the
+// Gaussian mechanism. Included for completeness of the DP substrate
+// (pure epsilon-DP, L1 sensitivity) and used by tests and the privacy
+// planner to contrast mechanisms.
+#pragma once
+
+#include "tensor/tensor_list.h"
+
+namespace fedcl {
+class Rng;
+}
+
+namespace fedcl::dp {
+
+class LaplaceMechanism {
+ public:
+  // Noise scale b = l1_sensitivity / epsilon gives pure epsilon-DP.
+  LaplaceMechanism(double epsilon, double l1_sensitivity);
+
+  double epsilon() const { return epsilon_; }
+  double sensitivity() const { return sensitivity_; }
+  double scale() const { return sensitivity_ / epsilon_; }
+
+  void sanitize(tensor::list::TensorList& update, Rng& rng) const;
+  void sanitize(tensor::Tensor& update, Rng& rng) const;
+
+  // One Laplace(0, b) draw.
+  static double sample(Rng& rng, double b);
+
+ private:
+  double epsilon_;
+  double sensitivity_;
+};
+
+}  // namespace fedcl::dp

@@ -1,0 +1,138 @@
+#include "fl/client.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/grad_utils.h"
+#include "nn/optimizer.h"
+
+namespace fedcl::fl {
+
+namespace {
+
+// Extracts example j of a batch as a batch of size 1.
+data::Batch slice_example(const data::Batch& batch, std::int64_t j) {
+  FEDCL_CHECK(j >= 0 && j < batch.size());
+  tensor::Shape shape = batch.x.shape();
+  shape[0] = 1;
+  data::Batch out;
+  out.x = tensor::Tensor(shape);
+  const std::int64_t row = batch.x.numel() / batch.size();
+  const float* src = batch.x.data() + j * row;
+  std::copy(src, src + row, out.x.data());
+  out.labels = {batch.labels[static_cast<std::size_t>(j)]};
+  return out;
+}
+
+}  // namespace
+
+double LocalTrainConfig::learning_rate_at(std::int64_t round) const {
+  FEDCL_CHECK_GE(round, 0);
+  return learning_rate * std::pow(lr_decay_per_round,
+                                  static_cast<double>(round));
+}
+
+dp::ParamGroups to_param_groups(const std::vector<nn::LayerGroup>& groups) {
+  dp::ParamGroups out;
+  out.reserve(groups.size());
+  for (const auto& g : groups) out.push_back(g.param_indices);
+  return out;
+}
+
+Client::Client(std::int64_t id, data::ClientData data, LocalTrainConfig config)
+    : id_(id), data_(std::move(data)), config_(config) {
+  FEDCL_CHECK_GE(id, 0);
+  FEDCL_CHECK_GT(config.local_iterations, 0);
+  FEDCL_CHECK_GT(config.batch_size, 0);
+  FEDCL_CHECK_GT(config.learning_rate, 0.0);
+  FEDCL_CHECK(config.lr_decay_per_round > 0.0 &&
+              config.lr_decay_per_round <= 1.0)
+      << "lr decay " << config.lr_decay_per_round;
+}
+
+ClientRoundOutcome Client::run_round(nn::Sequential& model,
+                                     const TensorList& global_weights,
+                                     const core::PrivacyPolicy& policy,
+                                     std::int64_t round, Rng& rng,
+                                     LeakageProbe* probe) const {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  model.set_weights(global_weights);
+  std::vector<tensor::Var> params = model.parameters();
+  const dp::ParamGroups groups = to_param_groups(model.layer_groups());
+  nn::SgdOptimizer optimizer(config_.learning_rate_at(round));
+
+  ClientRoundOutcome outcome;
+  const float inv_b = 1.0f / static_cast<float>(config_.batch_size);
+
+  for (std::int64_t l = 0; l < config_.local_iterations; ++l) {
+    data::Batch batch = data_.sample_batch(rng, config_.batch_size);
+    const bool probing = probe != nullptr && l == 0;
+
+    TensorList step_grad;
+    if (policy.needs_per_example_gradients()) {
+      // Algorithm 2 lines 6-14: per-example gradient, per-layer clip,
+      // per-example noise, then the 1/B batch average.
+      for (std::int64_t j = 0; j < batch.size(); ++j) {
+        data::Batch ex = slice_example(batch, j);
+        TensorList grad = nn::compute_gradients(model, ex.x, ex.labels);
+        policy.sanitize_per_example(grad, groups, round, rng);
+        if (probing && j == 0) {
+          probe->type2_observed = tensor::list::clone(grad);
+          probe->type2_example = ex;
+        }
+        if (step_grad.empty()) {
+          step_grad = std::move(grad);
+        } else {
+          tensor::list::add_(step_grad, grad);
+        }
+      }
+      tensor::list::scale_(step_grad, inv_b);
+    } else {
+      step_grad = nn::compute_gradients(model, batch.x, batch.labels);
+      if (probing) {
+        // Type-2 adversary reads the raw per-example gradient during
+        // training; non-per-example policies leave it unprotected.
+        data::Batch ex = slice_example(batch, 0);
+        probe->type2_observed = nn::compute_gradients(model, ex.x, ex.labels);
+        probe->type2_example = ex;
+      }
+    }
+
+    if (probing) {
+      probe->first_batch = batch;
+      probe->first_batch_gradient =
+          policy.needs_per_example_gradients()
+              ? nn::compute_gradients(model, batch.x, batch.labels)
+              : tensor::list::clone(step_grad);
+      probe->captured = true;
+    }
+    if (l == 0) {
+      outcome.first_iteration_grad_norm =
+          policy.needs_per_example_gradients()
+              ? tensor::list::l2_norm(
+                    nn::compute_gradients(model, batch.x, batch.labels))
+              : tensor::list::l2_norm(step_grad);
+    }
+
+    // Line 15: local gradient descent with the sanitized batch gradient.
+    optimizer.step(params, step_grad);
+  }
+
+  // Line 17: Delta W_i(t) = W_i(t)_L - W(t).
+  TensorList delta = model.weights();
+  tensor::list::add_(delta, global_weights, -1.0f);
+  policy.sanitize_client_update(delta, groups, round, rng);
+
+  outcome.update.client_id = id_;
+  outcome.update.round = round;
+  outcome.update.delta = std::move(delta);
+  outcome.local_train_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return outcome;
+}
+
+}  // namespace fedcl::fl

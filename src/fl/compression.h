@@ -1,0 +1,30 @@
+// Gradient compression for communication-efficient federated learning
+// (the paper's Figure 5 experiment): insignificant gradients — those
+// with the smallest magnitudes — are pruned before the update is
+// shared.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor_list.h"
+
+namespace fedcl::fl {
+
+using tensor::list::TensorList;
+
+// Zeroes the smallest-magnitude `prune_ratio` fraction of coordinates
+// across the whole update (0 = no-op, 0.3 = paper's "compression ratio
+// 30%"). Returns the number of coordinates kept.
+std::int64_t prune_smallest(TensorList& update, double prune_ratio);
+
+// Fraction of exactly-zero coordinates.
+double sparsity(const TensorList& update);
+
+// Uniform symmetric quantization: each tensor's coordinates are
+// snapped to 2^bits - 1 evenly spaced levels within [-max_abs,
+// +max_abs] (per tensor). A second axis of communication-efficient FL
+// next to magnitude pruning. Returns the root mean squared
+// quantization error. bits in [1, 16].
+double quantize_uniform(TensorList& update, int bits);
+
+}  // namespace fedcl::fl

@@ -1,0 +1,21 @@
+#include "fl/dssgd.h"
+
+#include "common/error.h"
+#include "fl/compression.h"
+
+namespace fedcl::fl {
+
+DssgdPolicy::DssgdPolicy(double share_fraction)
+    : share_fraction_(share_fraction) {
+  FEDCL_CHECK(share_fraction > 0.0 && share_fraction <= 1.0)
+      << "share fraction " << share_fraction;
+}
+
+void DssgdPolicy::sanitize_client_update(core::TensorList& update,
+                                         const core::ParamGroups& /*groups*/,
+                                         std::int64_t /*round*/,
+                                         Rng& /*rng*/) const {
+  prune_smallest(update, 1.0 - share_fraction_);
+}
+
+}  // namespace fedcl::fl

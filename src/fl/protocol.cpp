@@ -1,0 +1,119 @@
+#include "fl/protocol.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace fedcl::fl {
+
+namespace {
+
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& out, const T& v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_pod(const std::vector<std::uint8_t>& in, std::size_t& offset) {
+  FEDCL_CHECK_LE(offset + sizeof(T), in.size()) << "truncated message";
+  T v;
+  std::memcpy(&v, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return v;
+}
+
+std::uint64_t splitmix64_step(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_update(const ClientUpdate& update) {
+  std::vector<std::uint8_t> out;
+  append_pod(out, update.client_id);
+  append_pod(out, update.round);
+  append_pod(out, static_cast<std::uint32_t>(update.delta.size()));
+  for (const auto& t : update.delta) {
+    FEDCL_CHECK(t.defined()) << "undefined tensor in update";
+    append_pod(out, static_cast<std::uint32_t>(t.ndim()));
+    for (std::size_t d = 0; d < t.ndim(); ++d) {
+      append_pod(out, static_cast<std::int64_t>(t.dim(d)));
+    }
+    const auto* p = reinterpret_cast<const std::uint8_t*>(t.data());
+    out.insert(out.end(), p, p + sizeof(float) * t.numel());
+  }
+  return out;
+}
+
+ClientUpdate deserialize_update(const std::vector<std::uint8_t>& bytes) {
+  std::size_t offset = 0;
+  ClientUpdate update;
+  update.client_id = read_pod<std::int64_t>(bytes, offset);
+  update.round = read_pod<std::int64_t>(bytes, offset);
+  const auto count = read_pod<std::uint32_t>(bytes, offset);
+  update.delta.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto ndim = read_pod<std::uint32_t>(bytes, offset);
+    FEDCL_CHECK_LE(ndim, 8u) << "implausible tensor rank";
+    tensor::Shape shape;
+    for (std::uint32_t d = 0; d < ndim; ++d) {
+      shape.push_back(read_pod<std::int64_t>(bytes, offset));
+    }
+    tensor::Tensor t(shape);
+    const std::size_t nbytes = sizeof(float) * static_cast<std::size_t>(t.numel());
+    FEDCL_CHECK_LE(offset + nbytes, bytes.size()) << "truncated tensor data";
+    std::memcpy(t.data(), bytes.data() + offset, nbytes);
+    offset += nbytes;
+    update.delta.push_back(std::move(t));
+  }
+  FEDCL_CHECK_EQ(offset, bytes.size()) << "trailing bytes in message";
+  return update;
+}
+
+std::vector<std::uint8_t> SecureChannel::seal(
+    std::vector<std::uint8_t> plaintext) const {
+  const std::uint64_t tag = fnv1a(plaintext.data(), plaintext.size());
+  append_pod(plaintext, tag);
+  std::uint64_t state = key_;
+  for (std::size_t i = 0; i < plaintext.size(); ++i) {
+    if (i % 8 == 0) splitmix64_step(state);
+    std::uint64_t probe = state;
+    plaintext[i] ^= static_cast<std::uint8_t>(
+        splitmix64_step(probe) >> ((i % 8) * 8));
+  }
+  return plaintext;
+}
+
+std::vector<std::uint8_t> SecureChannel::open(
+    std::vector<std::uint8_t> sealed) const {
+  FEDCL_CHECK_GE(sealed.size(), sizeof(std::uint64_t)) << "short ciphertext";
+  std::uint64_t state = key_;
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    if (i % 8 == 0) splitmix64_step(state);
+    std::uint64_t probe = state;
+    sealed[i] ^= static_cast<std::uint8_t>(
+        splitmix64_step(probe) >> ((i % 8) * 8));
+  }
+  std::size_t body = sealed.size() - sizeof(std::uint64_t);
+  std::size_t offset = body;
+  const auto tag = read_pod<std::uint64_t>(sealed, offset);
+  FEDCL_CHECK_EQ(tag, fnv1a(sealed.data(), body)) << "integrity tag mismatch";
+  sealed.resize(body);
+  return sealed;
+}
+
+}  // namespace fedcl::fl

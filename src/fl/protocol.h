@@ -1,0 +1,47 @@
+// Client/server messaging: the round update record, a compact binary
+// serialization, and a toy secure channel.
+//
+// The paper's threat model assumes client-server communication is
+// encrypted yet gradients still leak at the endpoints. SecureChannel
+// makes that assumption concrete: updates are sealed in transit, and
+// the three leakage observation points (type-0 at the server after
+// open(), type-1/2 at the client before seal()) are explicit in the
+// training loop. The cipher is a keystream XOR with an integrity tag —
+// deliberately simple and NOT real cryptography; transport security is
+// not what the paper (or this reproduction) evaluates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor_list.h"
+
+namespace fedcl::fl {
+
+using tensor::list::TensorList;
+
+// Local training parameter update shared by client i at round t:
+// delta = W_i(t)_L - W(t).
+struct ClientUpdate {
+  std::int64_t client_id = -1;
+  std::int64_t round = -1;
+  TensorList delta;
+};
+
+std::vector<std::uint8_t> serialize_update(const ClientUpdate& update);
+ClientUpdate deserialize_update(const std::vector<std::uint8_t>& bytes);
+
+class SecureChannel {
+ public:
+  explicit SecureChannel(std::uint64_t key) : key_(key) {}
+
+  // Encrypts and appends an integrity tag.
+  std::vector<std::uint8_t> seal(std::vector<std::uint8_t> plaintext) const;
+  // Decrypts; FEDCL_CHECK-fails on a bad tag (tampered ciphertext).
+  std::vector<std::uint8_t> open(std::vector<std::uint8_t> sealed) const;
+
+ private:
+  std::uint64_t key_;
+};
+
+}  // namespace fedcl::fl

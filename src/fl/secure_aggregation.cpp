@@ -1,0 +1,72 @@
+#include "fl/secure_aggregation.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fedcl::fl {
+
+namespace {
+
+// The pair (lo, hi) must hash identically for both endpoints.
+std::uint64_t pair_key(std::int64_t a, std::int64_t b) {
+  const std::uint64_t lo = static_cast<std::uint64_t>(std::min(a, b));
+  const std::uint64_t hi = static_cast<std::uint64_t>(std::max(a, b));
+  return lo * 0x1F123BB5ull + hi * 0x9E3779B9ull + 0x7FEDCA11ull;
+}
+
+}  // namespace
+
+SecureAggregator::SecureAggregator(std::vector<std::int64_t> participants,
+                                   std::uint64_t session_seed,
+                                   std::vector<tensor::Shape> shapes)
+    : participants_(std::move(participants)),
+      session_seed_(session_seed),
+      shapes_(std::move(shapes)) {
+  FEDCL_CHECK_GE(participants_.size(), 2u)
+      << "secure aggregation needs at least two participants";
+  FEDCL_CHECK(!shapes_.empty());
+  for (std::size_t i = 0; i < participants_.size(); ++i) {
+    for (std::size_t j = i + 1; j < participants_.size(); ++j) {
+      FEDCL_CHECK_NE(participants_[i], participants_[j])
+          << "duplicate participant id";
+    }
+  }
+}
+
+tensor::list::TensorList SecureAggregator::mask_for(
+    std::int64_t client_id) const {
+  const bool known = std::find(participants_.begin(), participants_.end(),
+                               client_id) != participants_.end();
+  FEDCL_CHECK(known) << "client " << client_id << " not in this session";
+
+  tensor::list::TensorList mask;
+  mask.reserve(shapes_.size());
+  for (const auto& s : shapes_) mask.emplace_back(tensor::Tensor(s));
+
+  for (std::int64_t peer : participants_) {
+    if (peer == client_id) continue;
+    Rng pair_rng = Rng(session_seed_).fork("pairmask",
+                                           pair_key(client_id, peer));
+    // The lower id adds the stream, the higher id subtracts it — both
+    // derive the identical stream, so the pair cancels in the sum.
+    const float sign = client_id < peer ? 1.0f : -1.0f;
+    for (auto& t : mask) {
+      float* p = t.data();
+      for (std::int64_t i = 0; i < t.numel(); ++i) {
+        p[i] += sign * static_cast<float>(pair_rng.normal(0.0, 1.0));
+      }
+    }
+  }
+  return mask;
+}
+
+void SecureAggregator::mask(std::int64_t client_id,
+                            tensor::list::TensorList& update) const {
+  FEDCL_CHECK_EQ(update.size(), shapes_.size());
+  tensor::list::TensorList m = mask_for(client_id);
+  tensor::list::add_(update, m, 1.0f);
+}
+
+}  // namespace fedcl::fl

@@ -1,0 +1,66 @@
+#include "fl/server.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fedcl::fl {
+
+Server::Server(TensorList initial_weights, AggregationOptions options)
+    : weights_(std::move(initial_weights)), options_(options) {
+  FEDCL_CHECK(!weights_.empty()) << "server needs a model";
+  FEDCL_CHECK(options_.server_momentum >= 0.0 &&
+              options_.server_momentum < 1.0)
+      << "server momentum " << options_.server_momentum;
+}
+
+std::vector<std::size_t> Server::sample_clients(std::size_t total_clients,
+                                                std::size_t clients_per_round,
+                                                Rng& rng) const {
+  FEDCL_CHECK_GT(clients_per_round, 0u);
+  FEDCL_CHECK_LE(clients_per_round, total_clients);
+  return rng.sample_without_replacement(total_clients, clients_per_round);
+}
+
+void Server::aggregate(std::vector<ClientUpdate> updates,
+                       const core::PrivacyPolicy& policy,
+                       const dp::ParamGroups& groups, Rng& rng,
+                       const std::vector<double>* update_weights) {
+  FEDCL_CHECK(!updates.empty()) << "aggregate with no updates";
+  if (update_weights != nullptr) {
+    FEDCL_CHECK_EQ(update_weights->size(), updates.size());
+  }
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const double w =
+        update_weights != nullptr ? (*update_weights)[i] : 1.0;
+    FEDCL_CHECK_GE(w, 0.0) << "negative aggregation weight";
+    total_weight += w;
+  }
+  FEDCL_CHECK_GT(total_weight, 0.0) << "all aggregation weights zero";
+
+  TensorList mean_delta = tensor::list::zeros_like(weights_);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    ClientUpdate& u = updates[i];
+    FEDCL_CHECK_EQ(u.round, round_) << "stale update from client "
+                                    << u.client_id;
+    FEDCL_CHECK_EQ(u.delta.size(), weights_.size());
+    policy.sanitize_at_server(u.delta, groups, round_, rng);
+    const double w =
+        update_weights != nullptr ? (*update_weights)[i] : 1.0;
+    tensor::list::add_(mean_delta, u.delta,
+                       static_cast<float>(w / total_weight));
+  }
+
+  if (options_.server_momentum > 0.0) {
+    if (velocity_.empty()) velocity_ = tensor::list::zeros_like(weights_);
+    tensor::list::scale_(velocity_,
+                         static_cast<float>(options_.server_momentum));
+    tensor::list::add_(velocity_, mean_delta, 1.0f);
+    tensor::list::add_(weights_, velocity_, 1.0f);
+  } else {
+    tensor::list::add_(weights_, mean_delta, 1.0f);
+  }
+  ++round_;
+}
+
+}  // namespace fedcl::fl

@@ -1,0 +1,60 @@
+// Federated server: client sampling and FedSGD aggregation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.h"
+#include "fl/protocol.h"
+
+namespace fedcl {
+class Rng;
+}
+
+namespace fedcl::fl {
+
+struct AggregationOptions {
+  // Server-side momentum on the aggregated delta (0 = plain FedSGD;
+  // the momentum-accelerated FL the paper cites as [32]).
+  double server_momentum = 0.0;
+};
+
+class Server {
+ public:
+  explicit Server(TensorList initial_weights,
+                  AggregationOptions options = {});
+
+  const TensorList& weights() const { return weights_; }
+  std::int64_t round() const { return round_; }
+
+  // Selects Kt distinct clients out of K for this round (the paper's
+  // random per-round subset; q = Kt/K drives client-level accounting).
+  std::vector<std::size_t> sample_clients(std::size_t total_clients,
+                                          std::size_t clients_per_round,
+                                          Rng& rng) const;
+
+  // FedSGD: W(t+1) = W(t) + (1/Kt) * sum_k delta_k, applying the
+  // policy's server-side hook to each update first (the Fed-SDP
+  // noise-at-server variant). Updates must belong to the current round.
+  // When `weights` is non-null it holds one non-negative weight per
+  // update (e.g. client data sizes) and the mean becomes weighted —
+  // with equal weights this reduces to FedSGD, and since every delta
+  // is relative to the same W(t) it is also exactly FedAveraging
+  // (Section IV notes the two are mathematically equivalent).
+  void aggregate(std::vector<ClientUpdate> updates,
+                 const core::PrivacyPolicy& policy,
+                 const dp::ParamGroups& groups, Rng& rng,
+                 const std::vector<double>* update_weights = nullptr);
+
+  // Advances the round without an update (e.g. every sampled client
+  // dropped out — the unstable-availability case of [2]).
+  void skip_round() { ++round_; }
+
+ private:
+  TensorList weights_;
+  AggregationOptions options_;
+  TensorList velocity_;  // lazily sized when momentum is enabled
+  std::int64_t round_ = 0;
+};
+
+}  // namespace fedcl::fl

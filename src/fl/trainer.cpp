@@ -1,0 +1,166 @@
+#include "fl/trainer.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/compression.h"
+#include "fl/server.h"
+#include "nn/grad_utils.h"
+#include "nn/model_zoo.h"
+
+namespace fedcl::fl {
+
+FlRunResult run_experiment(const FlExperimentConfig& config,
+                           const core::PrivacyPolicy& policy) {
+  FEDCL_CHECK_GT(config.total_clients, 0);
+  FEDCL_CHECK_GT(config.clients_per_round, 0);
+  FEDCL_CHECK_LE(config.clients_per_round, config.total_clients);
+  const std::int64_t rounds = config.effective_rounds();
+  const std::int64_t local_iterations = config.effective_local_iterations();
+  FEDCL_CHECK_GT(rounds, 0);
+
+  Rng root(config.seed);
+  Rng data_rng = root.fork("train-data");
+  Rng val_rng = root.fork("val-data");
+  Rng part_rng = root.fork("partition");
+  Rng model_rng = root.fork("model");
+  Rng round_rng = root.fork("rounds");
+
+  auto train = std::make_shared<data::Dataset>(
+      data::generate_synthetic(config.bench.train_spec, data_rng));
+  data::Dataset val =
+      data::generate_synthetic(config.bench.val_spec, val_rng);
+
+  data::PartitionSpec part = config.bench.partition;
+  part.num_clients = config.total_clients;
+  std::vector<data::ClientData> shards =
+      data::partition(train, part, part_rng);
+
+  LocalTrainConfig local{.local_iterations = local_iterations,
+                         .batch_size = config.bench.batch_size,
+                         .learning_rate = config.bench.learning_rate,
+                         .lr_decay_per_round =
+                             config.bench.lr_decay_per_round};
+  std::vector<Client> clients;
+  clients.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    clients.emplace_back(static_cast<std::int64_t>(i), std::move(shards[i]),
+                         local);
+  }
+
+  // One scratch model instance serves all clients sequentially; its
+  // weights are overwritten from the global model each run_round.
+  std::shared_ptr<nn::Sequential> model =
+      nn::build_model(config.bench.model, model_rng);
+  const dp::ParamGroups groups = to_param_groups(model->layer_groups());
+  FEDCL_CHECK(config.client_dropout >= 0.0 && config.client_dropout < 1.0)
+      << "client dropout " << config.client_dropout;
+  Server server(model->weights(),
+                {.server_momentum = config.server_momentum});
+
+  FlRunResult result;
+  double total_ms = 0.0;
+  std::int64_t total_local_iters = 0;
+
+  for (std::int64_t t = 0; t < rounds; ++t) {
+    Rng sample_rng = round_rng.fork("sample", static_cast<std::uint64_t>(t));
+    std::vector<std::size_t> chosen = server.sample_clients(
+        clients.size(), static_cast<std::size_t>(config.clients_per_round),
+        sample_rng);
+
+    std::vector<ClientUpdate> updates;
+    std::vector<double> update_weights;
+    updates.reserve(chosen.size());
+    RoundRecord record;
+    record.round = t;
+    double norm_sum = 0.0, ms_sum = 0.0;
+    std::size_t reporting = 0;
+    Rng drop_rng = round_rng.fork("dropout", static_cast<std::uint64_t>(t));
+    for (std::size_t ci : chosen) {
+      if (config.client_dropout > 0.0 &&
+          drop_rng.bernoulli(config.client_dropout)) {
+        continue;  // this client never reports back
+      }
+      Rng crng = round_rng.fork("client", static_cast<std::uint64_t>(
+                                              t * 1000003 +
+                                              static_cast<std::int64_t>(ci)));
+      ClientRoundOutcome outcome = clients[ci].run_round(
+          *model, server.weights(), policy, t, crng);
+      if (config.prune_ratio > 0.0) {
+        prune_smallest(outcome.update.delta, config.prune_ratio);
+      }
+      norm_sum += outcome.first_iteration_grad_norm;
+      ms_sum += outcome.local_train_ms;
+      updates.push_back(std::move(outcome.update));
+      update_weights.push_back(
+          static_cast<double>(clients[ci].data().size()));
+      ++reporting;
+    }
+    if (updates.empty()) {
+      // Every sampled client dropped out: the round produces no
+      // aggregate (unstable-availability corner).
+      server.skip_round();
+      ++result.dropped_rounds;
+      record.accuracy = std::nan("");
+      result.history.push_back(record);
+      continue;
+    }
+    Rng agg_rng = round_rng.fork("aggregate", static_cast<std::uint64_t>(t));
+    server.aggregate(std::move(updates), policy, groups, agg_rng,
+                     config.weight_by_data_size ? &update_weights : nullptr);
+
+    record.mean_grad_norm = norm_sum / static_cast<double>(reporting);
+    record.mean_client_ms = ms_sum / static_cast<double>(reporting);
+    total_ms += ms_sum;
+    total_local_iters +=
+        static_cast<std::int64_t>(reporting) * local_iterations;
+
+    const bool eval_now =
+        (config.eval_every > 0 && (t + 1) % config.eval_every == 0) ||
+        t + 1 == rounds;
+    if (eval_now) {
+      model->set_weights(server.weights());
+      record.accuracy =
+          nn::evaluate_accuracy(*model, val.features(), val.labels());
+      FEDCL_LOG(Debug) << config.bench.name << " " << policy.name()
+                       << " round " << (t + 1) << "/" << rounds
+                       << " acc=" << record.accuracy;
+    } else {
+      record.accuracy = std::nan("");
+    }
+    result.history.push_back(record);
+  }
+
+  result.final_accuracy = result.history.back().accuracy;
+  if (std::isnan(result.final_accuracy)) {
+    // The last round was skipped (all clients dropped): evaluate the
+    // surviving global model directly.
+    model->set_weights(server.weights());
+    result.final_accuracy =
+        nn::evaluate_accuracy(*model, val.features(), val.labels());
+  }
+  result.ms_per_local_iteration =
+      total_local_iters > 0
+          ? total_ms / static_cast<double>(total_local_iters)
+          : 0.0;
+  result.final_weights = tensor::list::clone(server.weights());
+  result.privacy_setup = {
+      .total_examples = train->size(),
+      .batch_size = config.bench.batch_size,
+      .clients_per_round = config.clients_per_round,
+      .total_clients = config.total_clients,
+      .local_iterations = local_iterations,
+      .rounds = rounds,
+      .noise_scale = config.noise_scale,
+      .delta = config.delta,
+  };
+  return result;
+}
+
+}  // namespace fedcl::fl

@@ -1,0 +1,77 @@
+// End-to-end federated experiment runner: builds the synthetic
+// benchmark, partitions it across clients, runs T rounds of FedSGD
+// under a privacy policy, and records the metrics the paper's tables
+// report (validation accuracy, ms per local iteration, gradient-norm
+// series, privacy-accounting inputs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accounting.h"
+#include "core/policy.h"
+#include "data/benchmarks.h"
+
+namespace fedcl::fl {
+
+struct FlExperimentConfig {
+  data::BenchmarkConfig bench;
+  std::int64_t total_clients = 100;     // K
+  std::int64_t clients_per_round = 10;  // Kt
+  // Overrides bench.rounds when > 0.
+  std::int64_t rounds = 0;
+  // Overrides bench.local_iterations when > 0.
+  std::int64_t local_iterations = 0;
+  // Gradient compression prune ratio for communication-efficient FL
+  // (Figure 5); 0 disables.
+  double prune_ratio = 0.0;
+  // Evaluate every n rounds (n <= 0: final round only).
+  std::int64_t eval_every = 0;
+  std::uint64_t seed = 42;
+  // Recorded into privacy_setup for accounting (should match the
+  // policy's noise scale).
+  double noise_scale = 6.0;
+  double delta = 1e-5;
+  // Probability that a selected client fails to report its update
+  // this round (the unstable-availability setting of McMahan et al.).
+  double client_dropout = 0.0;
+  // Weight each client's update by its local data size instead of the
+  // uniform 1/Kt mean.
+  bool weight_by_data_size = false;
+  // Server-side momentum on the aggregated delta (0 = plain FedSGD).
+  double server_momentum = 0.0;
+
+  std::int64_t effective_rounds() const {
+    return rounds > 0 ? rounds : bench.rounds;
+  }
+  std::int64_t effective_local_iterations() const {
+    return local_iterations > 0 ? local_iterations : bench.local_iterations;
+  }
+};
+
+struct RoundRecord {
+  std::int64_t round = 0;
+  double accuracy = 0.0;          // NaN when not evaluated this round
+  double mean_grad_norm = 0.0;    // mean first-iteration batch-grad L2
+  double mean_client_ms = 0.0;    // mean local-training wall time
+};
+
+struct FlRunResult {
+  double final_accuracy = 0.0;
+  // Mean wall-clock per local iteration per client, the paper's
+  // Table III metric.
+  double ms_per_local_iteration = 0.0;
+  std::vector<RoundRecord> history;
+  // Inputs for core::account_privacy on this run.
+  core::FlPrivacySetup privacy_setup;
+  // Rounds where every sampled client dropped out (skipped rounds).
+  std::int64_t dropped_rounds = 0;
+  // The trained global model parameters (deep copy) — load into a
+  // model built from the same ModelSpec via Sequential::set_weights.
+  core::TensorList final_weights;
+};
+
+FlRunResult run_experiment(const FlExperimentConfig& config,
+                           const core::PrivacyPolicy& policy);
+
+}  // namespace fedcl::fl

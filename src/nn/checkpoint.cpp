@@ -1,0 +1,85 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "common/error.h"
+
+namespace fedcl::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xFEDC1CA1;
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+void write_pod(std::FILE* f, const T& v) {
+  FEDCL_CHECK_EQ(std::fwrite(&v, sizeof(T), 1, f), 1u);
+}
+
+template <typename T>
+T read_pod(std::FILE* f) {
+  T v;
+  FEDCL_CHECK_EQ(std::fread(&v, sizeof(T), 1, f), 1u);
+  return v;
+}
+
+}  // namespace
+
+void save_weights(const std::string& path,
+                  const tensor::list::TensorList& weights) {
+  File f(std::fopen(path.c_str(), "wb"));
+  FEDCL_CHECK(f != nullptr) << "cannot open " << path << " for writing";
+  write_pod(f.get(), kMagic);
+  write_pod(f.get(), kVersion);
+  write_pod(f.get(), static_cast<std::uint32_t>(weights.size()));
+  for (const auto& t : weights) {
+    FEDCL_CHECK(t.defined());
+    write_pod(f.get(), static_cast<std::uint32_t>(t.ndim()));
+    for (std::size_t d = 0; d < t.ndim(); ++d) {
+      write_pod(f.get(), static_cast<std::int64_t>(t.dim(d)));
+    }
+    const std::size_t n = static_cast<std::size_t>(t.numel());
+    FEDCL_CHECK_EQ(std::fwrite(t.data(), sizeof(float), n, f.get()), n);
+  }
+}
+
+tensor::list::TensorList load_weights(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  FEDCL_CHECK(f != nullptr) << "cannot open " << path;
+  FEDCL_CHECK_EQ(read_pod<std::uint32_t>(f.get()), kMagic)
+      << "not a fedcl checkpoint: " << path;
+  FEDCL_CHECK_EQ(read_pod<std::uint32_t>(f.get()), kVersion)
+      << "unsupported checkpoint version";
+  const auto count = read_pod<std::uint32_t>(f.get());
+  tensor::list::TensorList weights;
+  weights.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto ndim = read_pod<std::uint32_t>(f.get());
+    FEDCL_CHECK_LE(ndim, 8u) << "implausible tensor rank";
+    tensor::Shape shape;
+    for (std::uint32_t d = 0; d < ndim; ++d) {
+      shape.push_back(read_pod<std::int64_t>(f.get()));
+    }
+    tensor::Tensor t(shape);
+    const std::size_t n = static_cast<std::size_t>(t.numel());
+    FEDCL_CHECK_EQ(std::fread(t.data(), sizeof(float), n, f.get()), n)
+        << "truncated checkpoint";
+    weights.push_back(std::move(t));
+  }
+  // No trailing garbage.
+  char probe;
+  FEDCL_CHECK_EQ(std::fread(&probe, 1, 1, f.get()), 0u)
+      << "trailing bytes in checkpoint";
+  return weights;
+}
+
+}  // namespace fedcl::nn

@@ -1,0 +1,21 @@
+// Model weight checkpointing: a small versioned binary format so
+// trained global models can be saved, reloaded and shipped between
+// processes.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor_list.h"
+
+namespace fedcl::nn {
+
+// Writes the tensor list to `path` (overwrites). Throws fedcl::Error
+// on I/O failure.
+void save_weights(const std::string& path,
+                  const tensor::list::TensorList& weights);
+
+// Reads a checkpoint written by save_weights. Validates magic,
+// version and length framing.
+tensor::list::TensorList load_weights(const std::string& path);
+
+}  // namespace fedcl::nn

@@ -1,0 +1,81 @@
+#include "nn/grad_utils.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "nn/loss.h"
+
+namespace fedcl::nn {
+
+TensorList compute_gradients(const Sequential& model, const Tensor& x,
+                             const std::vector<std::int64_t>& labels,
+                             double* out_loss) {
+  Var input(x, /*requires_grad=*/false);
+  Var logits = model.forward(input);
+  Var loss = softmax_cross_entropy(logits, labels);
+  if (out_loss != nullptr) *out_loss = loss.value().item();
+  Gradients grads = tensor::backward(loss, /*create_graph=*/false);
+  TensorList out;
+  out.reserve(model.parameters().size());
+  for (const Var& p : model.parameters()) {
+    FEDCL_CHECK(grads.contains(p)) << "parameter unreached in backward";
+    out.push_back(grads.of(p).value().clone());
+  }
+  return out;
+}
+
+std::vector<Var> compute_gradient_vars(
+    const Sequential& model, const Var& x,
+    const std::vector<std::int64_t>& labels) {
+  Var logits = model.forward(x);
+  Var loss = softmax_cross_entropy(logits, labels);
+  Gradients grads = tensor::backward(loss, /*create_graph=*/true);
+  std::vector<Var> out;
+  out.reserve(model.parameters().size());
+  for (const Var& p : model.parameters()) {
+    FEDCL_CHECK(grads.contains(p)) << "parameter unreached in backward";
+    out.push_back(grads.of(p));
+  }
+  return out;
+}
+
+std::vector<double> per_layer_l2_norms(const TensorList& grads,
+                                       const std::vector<LayerGroup>& groups) {
+  std::vector<double> out;
+  out.reserve(groups.size());
+  for (const LayerGroup& g : groups) {
+    out.push_back(tensor::list::l2_norm_subset(grads, g.param_indices));
+  }
+  return out;
+}
+
+double evaluate_accuracy(const Sequential& model, const Tensor& x,
+                         const std::vector<std::int64_t>& labels,
+                         std::int64_t batch) {
+  FEDCL_CHECK_GT(batch, 0);
+  const std::int64_t n = x.dim(0);
+  FEDCL_CHECK_EQ(static_cast<std::int64_t>(labels.size()), n);
+  FEDCL_CHECK_GT(n, 0);
+  const std::int64_t row = x.numel() / n;
+  tensor::GradModeGuard no_grad(false);
+  std::size_t hits = 0;
+  for (std::int64_t start = 0; start < n; start += batch) {
+    const std::int64_t count = std::min(batch, n - start);
+    tensor::Shape bshape = x.shape();
+    bshape[0] = count;
+    Tensor bx(bshape);
+    std::memcpy(bx.data(), x.data() + start * row,
+                sizeof(float) * static_cast<std::size_t>(count * row));
+    Var logits = model.forward(Var(bx, false));
+    std::vector<std::int64_t> pred = predict(logits.value());
+    for (std::int64_t i = 0; i < count; ++i) {
+      if (pred[static_cast<std::size_t>(i)] ==
+          labels[static_cast<std::size_t>(start + i)])
+        ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace fedcl::nn

@@ -1,0 +1,40 @@
+// Gradient computation and per-layer norm helpers shared by the FL
+// training loop, the DP policies and the leakage attack surface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/autograd.h"
+#include "tensor/tensor_list.h"
+
+namespace fedcl::nn {
+
+using tensor::Gradients;
+using tensor::Tensor;
+
+// Mean cross-entropy gradients for a batch, detached from the graph.
+// Returns one tensor per model parameter (Sequential::parameters()
+// order). out_loss, when non-null, receives the batch loss value.
+TensorList compute_gradients(const Sequential& model, const Tensor& x,
+                             const std::vector<std::int64_t>& labels,
+                             double* out_loss = nullptr);
+
+// Same but keeps the graph (create_graph) and returns gradient Vars —
+// what the reconstruction attack differentiates through.
+std::vector<Var> compute_gradient_vars(const Sequential& model, const Var& x,
+                                       const std::vector<std::int64_t>& labels);
+
+// L2 norm of the gradient slice belonging to each layer group
+// (Algorithm 2 line 9: one norm per layer m).
+std::vector<double> per_layer_l2_norms(const TensorList& grads,
+                                       const std::vector<LayerGroup>& groups);
+
+// Evaluates classification accuracy of the model over a dataset given
+// as (x, labels), batched to bound peak memory. No graph is recorded.
+double evaluate_accuracy(const Sequential& model, const Tensor& x,
+                         const std::vector<std::int64_t>& labels,
+                         std::int64_t batch = 64);
+
+}  // namespace fedcl::nn

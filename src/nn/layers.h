@@ -1,0 +1,137 @@
+// Concrete layers: Linear, Conv2d (NHWC, im2col), AvgPool2d, Flatten
+// and elementwise activations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+
+namespace fedcl::nn {
+
+// Fully connected: x[N,in] -> x W + b, W:[in,out], b:[out].
+class Linear : public Layer {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+  Var forward(const Var& x) override;
+  std::vector<Var> parameters() const override { return {weight_, bias_}; }
+  std::string name() const override { return name_; }
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  Var weight_;
+  Var bias_;
+  std::string name_;
+};
+
+// 2-D convolution on NHWC input. Weight is stored unfolded as
+// [kernel*kernel*in_c, out_c] so forward is im2col + matmul, which
+// keeps conv twice differentiable for the leakage attack.
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+         Rng& rng);
+  Var forward(const Var& x) override;
+  std::vector<Var> parameters() const override { return {weight_, bias_}; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+  Var weight_;
+  Var bias_;
+  std::string name_;
+};
+
+// Average pooling with kernel == stride, expressed as im2col followed
+// by a constant pooling matrix (linear, hence trivially twice
+// differentiable).
+class AvgPool2d : public Layer {
+ public:
+  explicit AvgPool2d(std::int64_t kernel);
+  Var forward(const Var& x) override;
+  std::string name() const override { return "avgpool"; }
+
+ private:
+  std::int64_t kernel_;
+  // Pool matrices cached per channel count.
+  std::unordered_map<std::int64_t, Var> pool_matrices_;
+};
+
+// Max pooling with kernel == stride on NHWC input. The argmax routing
+// is recorded per forward, so the backward is a fixed gather/scatter
+// pair — linear, hence double-backward safe (like the relu mask).
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(std::int64_t kernel);
+  Var forward(const Var& x) override;
+  std::string name() const override { return "maxpool"; }
+
+ private:
+  std::int64_t kernel_;
+};
+
+// Inverted dropout: during training each activation is zeroed with
+// probability p and survivors are scaled by 1/(1-p); identity in eval
+// mode. The mask randomness comes from an internal seeded stream, so
+// runs stay reproducible.
+class Dropout : public Layer {
+ public:
+  Dropout(double p, std::uint64_t seed);
+  Var forward(const Var& x) override;
+  std::string name() const override { return "dropout"; }
+  void set_training(bool training) override { training_ = training; }
+  bool training() const { return training_; }
+
+ private:
+  double p_;
+  bool training_ = true;
+  Rng rng_;
+};
+
+// [N,H,W,C] -> [N, H*W*C].
+class Flatten : public Layer {
+ public:
+  Var forward(const Var& x) override;
+  std::string name() const override { return "flatten"; }
+};
+
+// Fixed affine input transform y = (x + shift) * scale. Used to center
+// [0,1] image inputs to [-1,1], which removes the large common-mode
+// component that slows early training. Stateless (no parameters).
+class InputScale : public Layer {
+ public:
+  InputScale(float shift, float scale) : shift_(shift), scale_(scale) {}
+  Var forward(const Var& x) override;
+  std::string name() const override { return "input_scale"; }
+
+ private:
+  float shift_;
+  float scale_;
+};
+
+enum class Activation { kRelu, kSigmoid, kTanh };
+
+const char* activation_name(Activation a);
+
+class ActivationLayer : public Layer {
+ public:
+  explicit ActivationLayer(Activation kind) : kind_(kind) {}
+  Var forward(const Var& x) override;
+  std::string name() const override { return activation_name(kind_); }
+
+ private:
+  Activation kind_;
+};
+
+}  // namespace fedcl::nn

@@ -1,0 +1,85 @@
+#include "nn/metrics.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "nn/loss.h"
+
+namespace fedcl::nn {
+
+ConfusionMatrix::ConfusionMatrix(std::int64_t num_classes)
+    : classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes * num_classes), 0) {
+  FEDCL_CHECK_GT(num_classes, 1);
+}
+
+void ConfusionMatrix::add(std::int64_t truth, std::int64_t predicted) {
+  FEDCL_CHECK(truth >= 0 && truth < classes_) << "label " << truth;
+  FEDCL_CHECK(predicted >= 0 && predicted < classes_)
+      << "prediction " << predicted;
+  ++counts_[static_cast<std::size_t>(truth * classes_ + predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::add_batch(const tensor::Tensor& logits,
+                                const std::vector<std::int64_t>& labels) {
+  std::vector<std::int64_t> preds = predict(logits);
+  FEDCL_CHECK_EQ(preds.size(), labels.size());
+  for (std::size_t i = 0; i < preds.size(); ++i) add(labels[i], preds[i]);
+}
+
+std::int64_t ConfusionMatrix::count(std::int64_t truth,
+                                    std::int64_t predicted) const {
+  FEDCL_CHECK(truth >= 0 && truth < classes_);
+  FEDCL_CHECK(predicted >= 0 && predicted < classes_);
+  return counts_[static_cast<std::size_t>(truth * classes_ + predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t hits = 0;
+  for (std::int64_t c = 0; c < classes_; ++c) hits += count(c, c);
+  return static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(std::int64_t cls) const {
+  std::int64_t predicted_cls = 0;
+  for (std::int64_t t = 0; t < classes_; ++t) predicted_cls += count(t, cls);
+  if (predicted_cls == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) /
+         static_cast<double>(predicted_cls);
+}
+
+double ConfusionMatrix::recall(std::int64_t cls) const {
+  std::int64_t actual_cls = 0;
+  for (std::int64_t p = 0; p < classes_; ++p) actual_cls += count(cls, p);
+  if (actual_cls == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) /
+         static_cast<double>(actual_cls);
+}
+
+double ConfusionMatrix::f1(std::int64_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (std::int64_t c = 0; c < classes_; ++c) sum += f1(c);
+  return sum / static_cast<double>(classes_);
+}
+
+std::string ConfusionMatrix::render() const {
+  std::ostringstream os;
+  os << "confusion matrix (rows: truth, cols: predicted)\n";
+  for (std::int64_t t = 0; t < classes_; ++t) {
+    for (std::int64_t p = 0; p < classes_; ++p) {
+      os << count(t, p) << (p + 1 == classes_ ? '\n' : '\t');
+    }
+  }
+  return os.str();
+}
+
+}  // namespace fedcl::nn

@@ -1,0 +1,44 @@
+// Classification metrics beyond plain accuracy: confusion matrix,
+// per-class precision/recall and macro-F1 — used by examples and
+// benches to inspect what DP noise costs each class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedcl::nn {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::int64_t num_classes);
+
+  // Accumulates one (true label, predicted label) observation.
+  void add(std::int64_t truth, std::int64_t predicted);
+  // Accumulates a batch from logits.
+  void add_batch(const tensor::Tensor& logits,
+                 const std::vector<std::int64_t>& labels);
+
+  std::int64_t num_classes() const { return classes_; }
+  std::int64_t total() const { return total_; }
+  std::int64_t count(std::int64_t truth, std::int64_t predicted) const;
+
+  double accuracy() const;
+  // Precision/recall/F1 of one class (0 when the denominator is 0).
+  double precision(std::int64_t cls) const;
+  double recall(std::int64_t cls) const;
+  double f1(std::int64_t cls) const;
+  // Unweighted mean of per-class F1.
+  double macro_f1() const;
+
+  std::string render() const;
+
+ private:
+  std::int64_t classes_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> counts_;  // [truth * classes + predicted]
+};
+
+}  // namespace fedcl::nn

@@ -1,0 +1,63 @@
+#include "nn/model_zoo.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fedcl::nn {
+
+std::int64_t ModelSpec::input_numel() const {
+  if (kind == Kind::kImageCnn) return height * width * channels;
+  return in_features;
+}
+
+std::shared_ptr<Sequential> build_image_cnn(const ModelSpec& spec, Rng& rng) {
+  FEDCL_CHECK(spec.kind == ModelSpec::Kind::kImageCnn);
+  FEDCL_CHECK_GT(spec.classes, 1);
+  FEDCL_CHECK_GT(spec.height, 0);
+  FEDCL_CHECK_GT(spec.width, 0);
+  FEDCL_CHECK_GT(spec.channels, 0);
+  FEDCL_CHECK_EQ(spec.height % 4, 0) << "two 2x2 pools need H % 4 == 0";
+  FEDCL_CHECK_EQ(spec.width % 4, 0) << "two 2x2 pools need W % 4 == 0";
+
+  auto model = std::make_shared<Sequential>();
+  model->emplace<InputScale>(-0.5f, 2.0f);
+  model->emplace<Conv2d>(spec.channels, spec.conv1_channels, /*kernel=*/5,
+                         /*stride=*/1, /*pad=*/2, rng);
+  model->emplace<ActivationLayer>(spec.activation);
+  model->emplace<AvgPool2d>(2);
+  model->emplace<Conv2d>(spec.conv1_channels, spec.conv2_channels, 5, 1, 2,
+                         rng);
+  model->emplace<ActivationLayer>(spec.activation);
+  model->emplace<AvgPool2d>(2);
+  model->emplace<Flatten>();
+  const std::int64_t fc_in =
+      (spec.height / 4) * (spec.width / 4) * spec.conv2_channels;
+  model->emplace<Linear>(fc_in, spec.classes, rng);
+  return model;
+}
+
+std::shared_ptr<Sequential> build_mlp(const ModelSpec& spec, Rng& rng) {
+  FEDCL_CHECK(spec.kind == ModelSpec::Kind::kMlp);
+  FEDCL_CHECK_GT(spec.in_features, 0);
+  FEDCL_CHECK_GT(spec.classes, 1);
+  auto model = std::make_shared<Sequential>();
+  model->emplace<Linear>(spec.in_features, spec.hidden1, rng);
+  model->emplace<ActivationLayer>(spec.activation);
+  model->emplace<Linear>(spec.hidden1, spec.hidden2, rng);
+  model->emplace<ActivationLayer>(spec.activation);
+  model->emplace<Linear>(spec.hidden2, spec.classes, rng);
+  return model;
+}
+
+std::shared_ptr<Sequential> build_model(const ModelSpec& spec, Rng& rng) {
+  switch (spec.kind) {
+    case ModelSpec::Kind::kImageCnn:
+      return build_image_cnn(spec, rng);
+    case ModelSpec::Kind::kMlp:
+      return build_mlp(spec, rng);
+  }
+  FEDCL_CHECK(false) << "unknown model kind";
+  return nullptr;
+}
+
+}  // namespace fedcl::nn

@@ -1,0 +1,52 @@
+// Model builders matching the paper's experimental setup:
+//  - images: CNN with two convolutional layers and one fully-connected
+//    layer (Section VII),
+//  - attribute data: fully-connected model with two hidden layers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "nn/layer.h"
+#include "nn/layers.h"
+
+namespace fedcl {
+class Rng;
+}
+
+namespace fedcl::nn {
+
+struct ModelSpec {
+  enum class Kind { kImageCnn, kMlp };
+  Kind kind = Kind::kMlp;
+  // Image inputs (NHWC).
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+  std::int64_t channels = 0;
+  // Flat inputs.
+  std::int64_t in_features = 0;
+  std::int64_t classes = 0;
+  Activation activation = Activation::kRelu;
+  // CNN channel widths.
+  std::int64_t conv1_channels = 8;
+  std::int64_t conv2_channels = 16;
+  // MLP hidden widths.
+  std::int64_t hidden1 = 64;
+  std::int64_t hidden2 = 32;
+
+  // Expected input feature count (H*W*C for images, in_features else).
+  std::int64_t input_numel() const;
+};
+
+// Conv(5x5, pad 2) -> act -> AvgPool(2) -> Conv(5x5, pad 2) -> act ->
+// AvgPool(2) -> Flatten -> Linear(classes). Requires height and width
+// divisible by 4.
+std::shared_ptr<Sequential> build_image_cnn(const ModelSpec& spec, Rng& rng);
+
+// Linear(h1) -> act -> Linear(h2) -> act -> Linear(classes).
+std::shared_ptr<Sequential> build_mlp(const ModelSpec& spec, Rng& rng);
+
+// Dispatches on spec.kind.
+std::shared_ptr<Sequential> build_model(const ModelSpec& spec, Rng& rng);
+
+}  // namespace fedcl::nn

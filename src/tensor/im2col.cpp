@@ -1,0 +1,99 @@
+#include "tensor/im2col.h"
+
+#include "common/error.h"
+
+namespace fedcl::tensor {
+
+void ConvSpec::validate() const {
+  FEDCL_CHECK_GT(in_h, 0);
+  FEDCL_CHECK_GT(in_w, 0);
+  FEDCL_CHECK_GT(in_c, 0);
+  FEDCL_CHECK_GT(kernel_h, 0);
+  FEDCL_CHECK_GT(kernel_w, 0);
+  FEDCL_CHECK_GT(stride, 0);
+  FEDCL_CHECK_GE(pad, 0);
+  FEDCL_CHECK_GT(out_h(), 0);
+  FEDCL_CHECK_GT(out_w(), 0);
+}
+
+Tensor im2col(const Tensor& x, const ConvSpec& spec) {
+  spec.validate();
+  FEDCL_CHECK_EQ(x.ndim(), 4u);
+  const std::int64_t n = x.dim(0);
+  FEDCL_CHECK_EQ(x.dim(1), spec.in_h);
+  FEDCL_CHECK_EQ(x.dim(2), spec.in_w);
+  FEDCL_CHECK_EQ(x.dim(3), spec.in_c);
+
+  const std::int64_t oh = spec.out_h(), ow = spec.out_w();
+  const std::int64_t patch = spec.patch_size();
+  Tensor cols({n * oh * ow, patch});
+  const float* px = x.data();
+  float* pc = cols.data();
+
+  const std::int64_t hw_stride = spec.in_w * spec.in_c;
+  for (std::int64_t b = 0; b < n; ++b) {
+    const float* img = px + b * spec.in_h * hw_stride;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t xo = 0; xo < ow; ++xo) {
+        float* row = pc + ((b * oh + y) * ow + xo) * patch;
+        const std::int64_t ys = y * spec.stride - spec.pad;
+        const std::int64_t xs = xo * spec.stride - spec.pad;
+        std::int64_t k = 0;
+        for (std::int64_t kh = 0; kh < spec.kernel_h; ++kh) {
+          const std::int64_t yy = ys + kh;
+          for (std::int64_t kw = 0; kw < spec.kernel_w; ++kw) {
+            const std::int64_t xx = xs + kw;
+            if (yy >= 0 && yy < spec.in_h && xx >= 0 && xx < spec.in_w) {
+              const float* src = img + yy * hw_stride + xx * spec.in_c;
+              for (std::int64_t c = 0; c < spec.in_c; ++c) row[k++] = src[c];
+            } else {
+              for (std::int64_t c = 0; c < spec.in_c; ++c) row[k++] = 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const ConvSpec& spec, std::int64_t n) {
+  spec.validate();
+  FEDCL_CHECK_EQ(cols.ndim(), 2u);
+  const std::int64_t oh = spec.out_h(), ow = spec.out_w();
+  const std::int64_t patch = spec.patch_size();
+  FEDCL_CHECK_EQ(cols.dim(0), n * oh * ow);
+  FEDCL_CHECK_EQ(cols.dim(1), patch);
+
+  Tensor x({n, spec.in_h, spec.in_w, spec.in_c});
+  const float* pc = cols.data();
+  float* px = x.data();
+
+  const std::int64_t hw_stride = spec.in_w * spec.in_c;
+  for (std::int64_t b = 0; b < n; ++b) {
+    float* img = px + b * spec.in_h * hw_stride;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t xo = 0; xo < ow; ++xo) {
+        const float* row = pc + ((b * oh + y) * ow + xo) * patch;
+        const std::int64_t ys = y * spec.stride - spec.pad;
+        const std::int64_t xs = xo * spec.stride - spec.pad;
+        std::int64_t k = 0;
+        for (std::int64_t kh = 0; kh < spec.kernel_h; ++kh) {
+          const std::int64_t yy = ys + kh;
+          for (std::int64_t kw = 0; kw < spec.kernel_w; ++kw) {
+            const std::int64_t xx = xs + kw;
+            if (yy >= 0 && yy < spec.in_h && xx >= 0 && xx < spec.in_w) {
+              float* dst = img + yy * hw_stride + xx * spec.in_c;
+              for (std::int64_t c = 0; c < spec.in_c; ++c) dst[c] += row[k++];
+            } else {
+              k += spec.in_c;
+            }
+          }
+        }
+      }
+    }
+  }
+  return x;
+}
+
+}  // namespace fedcl::tensor

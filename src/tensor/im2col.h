@@ -1,0 +1,44 @@
+// im2col / col2im for NHWC convolution.
+//
+// im2col and col2im are mutually adjoint linear maps, so conv2d built
+// as im2col + matmul is automatically twice differentiable — which the
+// gradient-leakage reconstruction attack relies on.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace fedcl::tensor {
+
+struct ConvSpec {
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t in_c = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const {
+    return (in_h + 2 * pad - kernel_h) / stride + 1;
+  }
+  std::int64_t out_w() const {
+    return (in_w + 2 * pad - kernel_w) / stride + 1;
+  }
+  // Number of columns in the unfolded matrix.
+  std::int64_t patch_size() const { return kernel_h * kernel_w * in_c; }
+  void validate() const;
+};
+
+// x: [N, H, W, C] (NHWC) -> [N * OH * OW, KH*KW*C].
+// Row r = ((n * OH + oh) * OW + ow); within a row, elements are laid out
+// (kh, kw, c), matching an NHWC weight tensor reshaped to
+// [KH*KW*C, OC].
+Tensor im2col(const Tensor& x, const ConvSpec& spec);
+
+// Adjoint of im2col: cols [N*OH*OW, KH*KW*C] -> [N, H, W, C], with
+// overlapping patches accumulated.
+Tensor col2im(const Tensor& cols, const ConvSpec& spec, std::int64_t n);
+
+}  // namespace fedcl::tensor

@@ -1,0 +1,355 @@
+#include "tensor/ops.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+// Naming convention inside VJP lambdas: `g` is the upstream gradient of
+// the op's output. Each lambda returns one gradient per parent, in
+// parent order. Ops that need their own output for the derivative
+// (exp, sigmoid, tanh) recompute it from the parent instead of
+// capturing the output Var — capturing the output would create a
+// shared_ptr cycle node -> vjp -> node.
+
+namespace fedcl::tensor::ops {
+
+namespace t = fedcl::tensor;
+
+Var constant(Tensor value) { return Var(std::move(value), false); }
+
+Var constant_scalar(float value) { return constant(Tensor::scalar(value)); }
+
+Var add(const Var& a, const Var& b) {
+  return Var::make_op(
+      t::add(a.value(), b.value()), {a, b},
+      [](const Var& g) -> std::vector<Var> { return {g, g}; }, "add");
+}
+
+Var sub(const Var& a, const Var& b) {
+  return Var::make_op(
+      t::sub(a.value(), b.value()), {a, b},
+      [](const Var& g) -> std::vector<Var> { return {g, neg(g)}; }, "sub");
+}
+
+Var mul(const Var& a, const Var& b) {
+  return Var::make_op(
+      t::mul(a.value(), b.value()), {a, b},
+      [a, b](const Var& g) -> std::vector<Var> {
+        return {mul(g, b), mul(g, a)};
+      },
+      "mul");
+}
+
+Var div(const Var& a, const Var& b) {
+  return Var::make_op(
+      t::div(a.value(), b.value()), {a, b},
+      [a, b](const Var& g) -> std::vector<Var> {
+        Var ga = div(g, b);
+        Var gb = neg(div(mul(g, a), mul(b, b)));
+        return {ga, gb};
+      },
+      "div");
+}
+
+Var add_scalar(const Var& a, float s) {
+  return Var::make_op(
+      t::add_scalar(a.value(), s), {a},
+      [](const Var& g) -> std::vector<Var> { return {g}; }, "add_scalar");
+}
+
+Var mul_scalar(const Var& a, float s) {
+  return Var::make_op(
+      t::mul_scalar(a.value(), s), {a},
+      [s](const Var& g) -> std::vector<Var> { return {mul_scalar(g, s)}; },
+      "mul_scalar");
+}
+
+Var pow_scalar(const Var& a, float p) {
+  return Var::make_op(
+      t::pow_scalar(a.value(), p), {a},
+      [a, p](const Var& g) -> std::vector<Var> {
+        // d/da a^p = p * a^(p-1)
+        return {mul(g, mul_scalar(pow_scalar(a, p - 1.0f), p))};
+      },
+      "pow_scalar");
+}
+
+Var neg(const Var& a) {
+  return Var::make_op(
+      t::neg(a.value()), {a},
+      [](const Var& g) -> std::vector<Var> { return {neg(g)}; }, "neg");
+}
+
+Var exp(const Var& a) {
+  return Var::make_op(
+      t::exp(a.value()), {a},
+      [a](const Var& g) -> std::vector<Var> { return {mul(g, exp(a))}; },
+      "exp");
+}
+
+Var log(const Var& a) {
+  return Var::make_op(
+      t::log(a.value()), {a},
+      [a](const Var& g) -> std::vector<Var> { return {div(g, a)}; }, "log");
+}
+
+Var sqrt(const Var& a) {
+  return Var::make_op(
+      t::sqrt(a.value()), {a},
+      [a](const Var& g) -> std::vector<Var> {
+        // d/da sqrt(a) = 1 / (2 sqrt(a)), recomputed from the parent.
+        return {div(g, mul_scalar(sqrt(a), 2.0f))};
+      },
+      "sqrt");
+}
+
+Var relu(const Var& a) {
+  return Var::make_op(
+      t::relu(a.value()), {a},
+      [a](const Var& g) -> std::vector<Var> {
+        // The 0/1 mask is piecewise constant; treating it as a constant
+        // is the exact a.e. derivative and keeps double-backward sane.
+        Var mask = constant(t::step_mask(a.value()));
+        return {mul(g, mask)};
+      },
+      "relu");
+}
+
+Var sigmoid(const Var& a) {
+  return Var::make_op(
+      t::sigmoid(a.value()), {a},
+      [a](const Var& g) -> std::vector<Var> {
+        Var s = sigmoid(a);
+        Var one = constant(Tensor::ones(a.value().shape()));
+        return {mul(g, mul(s, sub(one, s)))};
+      },
+      "sigmoid");
+}
+
+Var tanh(const Var& a) {
+  return Var::make_op(
+      t::tanh(a.value()), {a},
+      [a](const Var& g) -> std::vector<Var> {
+        Var th = tanh(a);
+        Var one = constant(Tensor::ones(a.value().shape()));
+        return {mul(g, sub(one, mul(th, th)))};
+      },
+      "tanh");
+}
+
+Var softplus(const Var& a) {
+  return Var::make_op(
+      t::softplus(a.value()), {a},
+      [a](const Var& g) -> std::vector<Var> {
+        // d/dx log(1+e^x) = sigmoid(x).
+        return {mul(g, sigmoid(a))};
+      },
+      "softplus");
+}
+
+Var leaky_relu(const Var& a, float slope) {
+  return Var::make_op(
+      t::leaky_relu(a.value(), slope), {a},
+      [a, slope](const Var& g) -> std::vector<Var> {
+        // Piecewise-constant derivative mask: 1 above 0, slope below.
+        Tensor mask = t::step_mask(a.value());
+        float* p = mask.data();
+        for (std::int64_t i = 0; i < mask.numel(); ++i) {
+          if (p[i] == 0.0f) p[i] = slope;
+        }
+        return {mul(g, constant(std::move(mask)))};
+      },
+      "leaky_relu");
+}
+
+Var abs(const Var& a) {
+  return Var::make_op(
+      t::abs(a.value()), {a},
+      [a](const Var& g) -> std::vector<Var> {
+        // sign(x) is the a.e. derivative (constant under double
+        // backward, like the relu mask).
+        return {mul(g, constant(t::sign(a.value())))};
+      },
+      "abs");
+}
+
+Var square(const Var& a) { return mul(a, a); }
+
+Var matmul(const Var& a, const Var& b) {
+  return Var::make_op(
+      t::matmul(a.value(), b.value()), {a, b},
+      [a, b](const Var& g) -> std::vector<Var> {
+        Var ga = matmul(g, transpose(b));
+        Var gb = matmul(transpose(a), g);
+        return {ga, gb};
+      },
+      "matmul");
+}
+
+Var transpose(const Var& a) {
+  return Var::make_op(
+      t::transpose2d(a.value()), {a},
+      [](const Var& g) -> std::vector<Var> { return {transpose(g)}; },
+      "transpose");
+}
+
+Var reshape(const Var& a, Shape shape) {
+  Shape original = a.value().shape();
+  return Var::make_op(
+      a.value().reshape(std::move(shape)), {a},
+      [original](const Var& g) -> std::vector<Var> {
+        return {reshape(g, original)};
+      },
+      "reshape");
+}
+
+Var sum_all(const Var& a) {
+  Shape original = a.value().shape();
+  return Var::make_op(
+      t::sum_all(a.value()), {a},
+      [original](const Var& g) -> std::vector<Var> {
+        return {expand_scalar(g, original)};
+      },
+      "sum_all");
+}
+
+Var expand_scalar(const Var& a, Shape shape) {
+  FEDCL_CHECK_EQ(a.numel(), 1);
+  return Var::make_op(
+      t::expand_scalar(a.value(), shape), {a},
+      [](const Var& g) -> std::vector<Var> { return {sum_all(g)}; },
+      "expand_scalar");
+}
+
+Var row_sum(const Var& a) {
+  const std::int64_t c = a.value().dim(1);
+  return Var::make_op(
+      t::row_sum(a.value()), {a},
+      [c](const Var& g) -> std::vector<Var> { return {broadcast_col(g, c)}; },
+      "row_sum");
+}
+
+Var broadcast_col(const Var& a, std::int64_t c) {
+  return Var::make_op(
+      t::broadcast_col(a.value(), c), {a},
+      [](const Var& g) -> std::vector<Var> { return {row_sum(g)}; },
+      "broadcast_col");
+}
+
+Var col_sum(const Var& a) {
+  const std::int64_t n = a.value().dim(0);
+  return Var::make_op(
+      t::col_sum(a.value()), {a},
+      [n](const Var& g) -> std::vector<Var> { return {broadcast_row(g, n)}; },
+      "col_sum");
+}
+
+Var broadcast_row(const Var& a, std::int64_t n) {
+  return Var::make_op(
+      t::broadcast_row(a.value(), n), {a},
+      [](const Var& g) -> std::vector<Var> { return {col_sum(g)}; },
+      "broadcast_row");
+}
+
+Var add_rowvec(const Var& x, const Var& b) {
+  FEDCL_CHECK_EQ(x.value().ndim(), 2u);
+  FEDCL_CHECK_EQ(b.value().ndim(), 1u);
+  FEDCL_CHECK_EQ(x.value().dim(1), b.value().dim(0));
+  const std::int64_t n = x.value().dim(0);
+  Tensor out = t::add(x.value(), t::broadcast_row(b.value(), n));
+  return Var::make_op(
+      std::move(out), {x, b},
+      [](const Var& g) -> std::vector<Var> { return {g, col_sum(g)}; },
+      "add_rowvec");
+}
+
+Var row_max_detached(const Var& a) {
+  return constant(t::row_max(a.value()));
+}
+
+Var pick(const Var& x, std::vector<std::int64_t> idx) {
+  const std::int64_t c = x.value().dim(1);
+  auto idx_copy = idx;
+  return Var::make_op(
+      t::pick(x.value(), idx), {x},
+      [idx_copy, c](const Var& g) -> std::vector<Var> {
+        return {scatter(g, idx_copy, c)};
+      },
+      "pick");
+}
+
+Var scatter(const Var& s, std::vector<std::int64_t> idx, std::int64_t c) {
+  auto idx_copy = idx;
+  return Var::make_op(
+      t::scatter(s.value(), idx, c), {s},
+      [idx_copy](const Var& g) -> std::vector<Var> {
+        return {pick(g, idx_copy)};
+      },
+      "scatter");
+}
+
+Var gather_flat(const Var& x, std::vector<std::int64_t> idx) {
+  Tensor out({static_cast<std::int64_t>(idx.size())});
+  const float* src = x.value().data();
+  const std::int64_t n = x.value().numel();
+  float* dst = out.data();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    FEDCL_CHECK(idx[i] >= 0 && idx[i] < n) << "gather index " << idx[i];
+    dst[i] = src[idx[i]];
+  }
+  Shape xshape = x.value().shape();
+  auto idx_copy = idx;
+  return Var::make_op(
+      std::move(out), {x},
+      [idx_copy, xshape](const Var& g) -> std::vector<Var> {
+        return {scatter_flat(g, idx_copy, xshape)};
+      },
+      "gather_flat");
+}
+
+Var scatter_flat(const Var& s, std::vector<std::int64_t> idx, Shape shape) {
+  FEDCL_CHECK_EQ(s.value().numel(),
+                 static_cast<std::int64_t>(idx.size()));
+  Tensor out(shape);
+  const float* src = s.value().data();
+  float* dst = out.data();
+  const std::int64_t n = out.numel();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    FEDCL_CHECK(idx[i] >= 0 && idx[i] < n) << "scatter index " << idx[i];
+    dst[idx[i]] += src[i];
+  }
+  auto idx_copy = idx;
+  Shape s_shape = s.value().shape();
+  return Var::make_op(
+      std::move(out), {s},
+      [idx_copy, s_shape](const Var& g) -> std::vector<Var> {
+        return {reshape(gather_flat(g, idx_copy), s_shape)};
+      },
+      "scatter_flat");
+}
+
+Var im2col(const Var& x, const ConvSpec& spec) {
+  const std::int64_t n = x.value().dim(0);
+  return Var::make_op(
+      t::im2col(x.value(), spec), {x},
+      [spec, n](const Var& g) -> std::vector<Var> {
+        return {col2im(g, spec, n)};
+      },
+      "im2col");
+}
+
+Var col2im(const Var& cols, const ConvSpec& spec, std::int64_t n) {
+  return Var::make_op(
+      t::col2im(cols.value(), spec, n), {cols},
+      [spec](const Var& g) -> std::vector<Var> { return {im2col(g, spec)}; },
+      "col2im");
+}
+
+Var l2_norm_squared(const Var& a) { return sum_all(square(a)); }
+
+Var mean_all(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  return mul_scalar(sum_all(a), inv);
+}
+
+}  // namespace fedcl::tensor::ops

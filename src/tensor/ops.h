@@ -1,0 +1,89 @@
+// Differentiable operations on Var.
+//
+// Every op's VJP is itself written with these ops, so gradients are
+// differentiable graphs when backward(create_graph=true) is used.
+// Shape contracts mirror the raw tensor functions in tensor.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/autograd.h"
+#include "tensor/im2col.h"
+#include "tensor/tensor.h"
+
+namespace fedcl::tensor::ops {
+
+// Constant leaf (requires_grad = false).
+Var constant(Tensor value);
+Var constant_scalar(float value);
+
+// ---- elementwise binary (same shape) ----
+Var add(const Var& a, const Var& b);
+Var sub(const Var& a, const Var& b);
+Var mul(const Var& a, const Var& b);
+Var div(const Var& a, const Var& b);
+
+// ---- scalar variants ----
+Var add_scalar(const Var& a, float s);
+Var mul_scalar(const Var& a, float s);
+// Elementwise power with a constant exponent. Inputs must be positive
+// for non-integer p (follows std::pow semantics).
+Var pow_scalar(const Var& a, float p);
+
+// ---- unary ----
+Var neg(const Var& a);
+Var exp(const Var& a);
+Var log(const Var& a);
+// Elementwise square root (inputs must be positive).
+Var sqrt(const Var& a);
+Var relu(const Var& a);
+Var sigmoid(const Var& a);
+Var tanh(const Var& a);
+Var softplus(const Var& a);
+Var leaky_relu(const Var& a, float slope);
+Var abs(const Var& a);
+Var square(const Var& a);
+
+// ---- linear algebra ----
+Var matmul(const Var& a, const Var& b);
+Var transpose(const Var& a);
+
+// ---- shape ----
+Var reshape(const Var& a, Shape shape);
+
+// ---- reductions / broadcasts ----
+Var sum_all(const Var& a);                        // -> [1]
+Var expand_scalar(const Var& a, Shape shape);     // [1] -> shape
+Var row_sum(const Var& a);                        // [N,C] -> [N,1]
+Var broadcast_col(const Var& a, std::int64_t c);  // [N,1] -> [N,C]
+Var col_sum(const Var& a);                        // [N,C] -> [C]
+Var broadcast_row(const Var& a, std::int64_t n);  // [C] -> [N,C]
+// x[N,C] + row vector b[C]
+Var add_rowvec(const Var& x, const Var& b);
+// Per-row max as a *constant* (used for numerically stable logsumexp;
+// the max shift cancels analytically, so detaching it is exact).
+Var row_max_detached(const Var& a);
+
+// ---- indexing ----
+Var pick(const Var& x, std::vector<std::int64_t> idx);  // [N,C] -> [N,1]
+Var scatter(const Var& s, std::vector<std::int64_t> idx,
+            std::int64_t c);  // [N,1] -> [N,C]
+// Flat gather: out[i] = x.flat[idx[i]] -> [idx.size()]. Adjoint of
+// scatter_flat; indices may repeat (max-pooling ties).
+Var gather_flat(const Var& x, std::vector<std::int64_t> idx);
+// Flat scatter-add into a zero tensor of `shape`:
+// out.flat[idx[i]] += s.flat[i].
+Var scatter_flat(const Var& s, std::vector<std::int64_t> idx, Shape shape);
+
+// ---- convolution support ----
+Var im2col(const Var& x, const ConvSpec& spec);
+Var col2im(const Var& cols, const ConvSpec& spec, std::int64_t n);
+
+// ---- composites ----
+// Sum of squares of all elements: sum_all(square(a)).
+Var l2_norm_squared(const Var& a);
+// Mean over all elements.
+Var mean_all(const Var& a);
+
+}  // namespace fedcl::tensor::ops

@@ -1,0 +1,436 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fedcl::tensor {
+
+namespace {
+
+std::shared_ptr<float[]> alloc_storage(std::int64_t n) {
+  FEDCL_CHECK_GE(n, 0);
+  // Value-initialized => zero-filled.
+  return std::shared_ptr<float[]>(new float[static_cast<std::size_t>(n)]());
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  FEDCL_CHECK(a.shape() == b.shape())
+      << op << ": shape mismatch " << shape_str(a.shape()) << " vs "
+      << shape_str(b.shape());
+}
+
+template <typename F>
+Tensor binary_op(const Tensor& a, const Tensor& b, const char* name, F f) {
+  check_same_shape(a, b, name);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+template <typename F>
+Tensor unary_op(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      data_(alloc_storage(numel_)) {
+  for (std::int64_t d : shape_) FEDCL_CHECK_GE(d, 0);
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill_(value);
+  return t;
+}
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> values) {
+  Tensor t(std::move(shape));
+  FEDCL_CHECK_EQ(t.numel(), static_cast<std::int64_t>(values.size()));
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    p[i] = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    p[i] = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::scalar(float value) { return full({1}, value); }
+
+std::int64_t Tensor::dim(std::size_t i) const {
+  FEDCL_CHECK_LT(i, shape_.size());
+  return shape_[i];
+}
+
+float* Tensor::data() {
+  FEDCL_CHECK(defined());
+  return data_.get();
+}
+
+const float* Tensor::data() const {
+  FEDCL_CHECK(defined());
+  return data_.get();
+}
+
+float& Tensor::at(std::int64_t i) {
+  FEDCL_CHECK(i >= 0 && i < numel_) << "index " << i << " numel " << numel_;
+  return data()[i];
+}
+
+float Tensor::at(std::int64_t i) const {
+  FEDCL_CHECK(i >= 0 && i < numel_) << "index " << i << " numel " << numel_;
+  return data()[i];
+}
+
+float Tensor::item() const {
+  FEDCL_CHECK_EQ(numel_, 1);
+  return data()[0];
+}
+
+std::vector<float> Tensor::to_vector() const {
+  FEDCL_CHECK(defined());
+  return std::vector<float>(data(), data() + numel_);
+}
+
+Tensor Tensor::reshape(Shape shape) const {
+  FEDCL_CHECK(defined());
+  FEDCL_CHECK_EQ(shape_numel(shape), numel_);
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = numel_;
+  t.data_ = data_;  // shared storage
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  FEDCL_CHECK(defined());
+  Tensor t(shape_);
+  std::memcpy(t.data(), data(), sizeof(float) * static_cast<std::size_t>(numel_));
+  return t;
+}
+
+Tensor& Tensor::fill_(float value) {
+  std::fill(data(), data() + numel_, value);
+  return *this;
+}
+
+Tensor& Tensor::add_(const Tensor& other, float alpha) {
+  check_same_shape(*this, other, "add_");
+  float* p = data();
+  const float* q = other.data();
+  for (std::int64_t i = 0; i < numel_; ++i) p[i] += alpha * q[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) {
+  float* p = data();
+  for (std::int64_t i = 0; i < numel_; ++i) p[i] *= s;
+  return *this;
+}
+
+Tensor& Tensor::add_gaussian_noise_(Rng& rng, float stddev) {
+  FEDCL_CHECK_GE(stddev, 0.0f);
+  if (stddev == 0.0f) return *this;
+  float* p = data();
+  for (std::int64_t i = 0; i < numel_; ++i)
+    p[i] += static_cast<float>(rng.normal(0.0, stddev));
+  return *this;
+}
+
+Tensor& Tensor::clamp_(float lo, float hi) {
+  FEDCL_CHECK_LE(lo, hi);
+  float* p = data();
+  for (std::int64_t i = 0; i < numel_; ++i) p[i] = std::clamp(p[i], lo, hi);
+  return *this;
+}
+
+float Tensor::sum() const {
+  const float* p = data();
+  double s = 0.0;
+  for (std::int64_t i = 0; i < numel_; ++i) s += p[i];
+  return static_cast<float>(s);
+}
+
+float Tensor::l2_norm() const {
+  const float* p = data();
+  double s = 0.0;
+  for (std::int64_t i = 0; i < numel_; ++i)
+    s += static_cast<double>(p[i]) * static_cast<double>(p[i]);
+  return static_cast<float>(std::sqrt(s));
+}
+
+float Tensor::max_abs() const {
+  const float* p = data();
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < numel_; ++i) m = std::max(m, std::abs(p[i]));
+  return m;
+}
+
+std::string Tensor::debug_string(std::int64_t max_entries) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_str(shape_) << " {";
+  if (defined()) {
+    std::int64_t n = std::min(numel_, max_entries);
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (i) os << ", ";
+      os << data()[i];
+    }
+    if (numel_ > n) os << ", ...";
+  }
+  os << "}";
+  return os.str();
+}
+
+// ---- free functions ----
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "add", [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "sub", [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "mul", [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, "div", [](float x, float y) { return x / y; });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x * s; });
+}
+Tensor pow_scalar(const Tensor& a, float p) {
+  return unary_op(a, [p](float x) { return std::pow(x, p); });
+}
+
+Tensor neg(const Tensor& a) {
+  return unary_op(a, [](float x) { return -x; });
+}
+Tensor exp(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::log(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::sqrt(x); });
+}
+Tensor relu(const Tensor& a) {
+  return unary_op(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor step_mask(const Tensor& a) {
+  return unary_op(a, [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor tanh(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::tanh(x); });
+}
+Tensor softplus(const Tensor& a) {
+  return unary_op(a, [](float x) {
+    // log(1+e^x) = max(x,0) + log1p(e^{-|x|}) avoids overflow.
+    return std::max(x, 0.0f) + std::log1p(std::exp(-std::abs(x)));
+  });
+}
+Tensor leaky_relu(const Tensor& a, float slope) {
+  return unary_op(a, [slope](float x) { return x > 0.0f ? x : slope * x; });
+}
+Tensor abs(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::abs(x); });
+}
+Tensor sign(const Tensor& a) {
+  return unary_op(a, [](float x) {
+    return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+  });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  FEDCL_CHECK_EQ(a.ndim(), 2u);
+  FEDCL_CHECK_EQ(b.ndim(), 2u);
+  FEDCL_CHECK_EQ(a.dim(1), b.dim(0));
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // ikj loop order: streams over b and out rows, cache friendly.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  FEDCL_CHECK_EQ(a.ndim(), 2u);
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  return out;
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  FEDCL_CHECK_EQ(a.numel(), b.numel());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  double s = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    s += static_cast<double>(pa[i]) * static_cast<double>(pb[i]);
+  return static_cast<float>(s);
+}
+
+Tensor row_sum(const Tensor& x) {
+  FEDCL_CHECK_EQ(x.ndim(), 2u);
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  Tensor out({n, 1});
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::int64_t j = 0; j < c; ++j) s += px[i * c + j];
+    po[i] = static_cast<float>(s);
+  }
+  return out;
+}
+
+Tensor row_max(const Tensor& x) {
+  FEDCL_CHECK_EQ(x.ndim(), 2u);
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  FEDCL_CHECK_GT(c, 0);
+  Tensor out({n, 1});
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    float m = px[i * c];
+    for (std::int64_t j = 1; j < c; ++j) m = std::max(m, px[i * c + j]);
+    po[i] = m;
+  }
+  return out;
+}
+
+Tensor broadcast_col(const Tensor& x, std::int64_t c) {
+  FEDCL_CHECK_EQ(x.ndim(), 2u);
+  FEDCL_CHECK_EQ(x.dim(1), 1);
+  const std::int64_t n = x.dim(0);
+  Tensor out({n, c});
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < c; ++j) po[i * c + j] = px[i];
+  return out;
+}
+
+Tensor col_sum(const Tensor& x) {
+  FEDCL_CHECK_EQ(x.ndim(), 2u);
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  Tensor out({c});
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < c; ++j) po[j] += px[i * c + j];
+  return out;
+}
+
+Tensor broadcast_row(const Tensor& x, std::int64_t n) {
+  FEDCL_CHECK_EQ(x.ndim(), 1u);
+  const std::int64_t c = x.dim(0);
+  Tensor out({n, c});
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < c; ++j) po[i * c + j] = px[j];
+  return out;
+}
+
+Tensor expand_scalar(const Tensor& x, const Shape& shape) {
+  FEDCL_CHECK_EQ(x.numel(), 1);
+  return Tensor::full(shape, x.item());
+}
+
+Tensor sum_all(const Tensor& x) { return Tensor::scalar(x.sum()); }
+
+Tensor pick(const Tensor& x, const std::vector<std::int64_t>& idx) {
+  FEDCL_CHECK_EQ(x.ndim(), 2u);
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  FEDCL_CHECK_EQ(static_cast<std::int64_t>(idx.size()), n);
+  Tensor out({n, 1});
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    FEDCL_CHECK(idx[i] >= 0 && idx[i] < c) << "label " << idx[i];
+    po[i] = px[i * c + idx[i]];
+  }
+  return out;
+}
+
+Tensor scatter(const Tensor& s, const std::vector<std::int64_t>& idx,
+               std::int64_t c) {
+  FEDCL_CHECK_EQ(s.ndim(), 2u);
+  FEDCL_CHECK_EQ(s.dim(1), 1);
+  const std::int64_t n = s.dim(0);
+  FEDCL_CHECK_EQ(static_cast<std::int64_t>(idx.size()), n);
+  Tensor out({n, c});
+  const float* ps = s.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    FEDCL_CHECK(idx[i] >= 0 && idx[i] < c) << "label " << idx[i];
+    po[i * c + idx[i]] = ps[i];
+  }
+  return out;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    float tol = atol + rtol * std::abs(pb[i]);
+    if (std::abs(pa[i] - pb[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace fedcl::tensor

@@ -1,0 +1,144 @@
+// Dense float32 tensor with shared, contiguous storage.
+//
+// This is the numeric substrate under the autograd engine (autograd.h)
+// and the DP machinery. Tensors are cheap to copy (storage is shared);
+// clone() deep-copies. All math functions allocate a fresh result; the
+// *_  suffixed members mutate in place and are used by the SGD
+// optimizer and DP noise injection on detached buffers only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace fedcl {
+class Rng;
+}
+
+namespace fedcl::tensor {
+
+class Tensor {
+ public:
+  // Empty (undefined) tensor; defined() is false.
+  Tensor() = default;
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  static Tensor from_vector(Shape shape, std::vector<float> values);
+  // i.i.d. N(mean, stddev^2) entries.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  // i.i.d. U[lo, hi) entries.
+  static Tensor uniform(Shape shape, Rng& rng, float lo = 0.0f,
+                        float hi = 1.0f);
+  // 1-element tensor holding value.
+  static Tensor scalar(float value);
+
+  bool defined() const { return data_ != nullptr; }
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return numel_; }
+  std::size_t ndim() const { return shape_.size(); }
+  std::int64_t dim(std::size_t i) const;
+
+  float* data();
+  const float* data() const;
+  float& at(std::int64_t i);
+  float at(std::int64_t i) const;
+  // Scalar value of a 1-element tensor.
+  float item() const;
+  std::vector<float> to_vector() const;
+
+  // Shares storage; numel must match.
+  Tensor reshape(Shape shape) const;
+  // Deep copy.
+  Tensor clone() const;
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // ---- in-place mutation (storage must not be aliased into a live
+  // autograd graph; callers operate on detached buffers) ----
+  Tensor& fill_(float value);
+  Tensor& add_(const Tensor& other, float alpha = 1.0f);  // this += alpha*other
+  Tensor& scale_(float s);
+  Tensor& add_gaussian_noise_(Rng& rng, float stddev);
+  Tensor& clamp_(float lo, float hi);
+
+  // ---- reductions over all elements ----
+  float sum() const;
+  float l2_norm() const;
+  float max_abs() const;
+
+  std::string debug_string(std::int64_t max_entries = 8) const;
+
+ private:
+  Shape shape_;
+  std::int64_t numel_ = 0;
+  std::shared_ptr<float[]> data_;
+};
+
+// ---- elementwise binary (same shape) ----
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+// ---- elementwise with scalar ----
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+Tensor pow_scalar(const Tensor& a, float p);
+
+// ---- elementwise unary ----
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor relu(const Tensor& a);
+// 1 where a > 0 else 0 (the ReLU mask).
+Tensor step_mask(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor tanh(const Tensor& a);
+// log(1 + e^a), numerically stable.
+Tensor softplus(const Tensor& a);
+// a where a > 0 else slope * a.
+Tensor leaky_relu(const Tensor& a, float slope);
+Tensor abs(const Tensor& a);
+// -1 / 0 / +1 per element.
+Tensor sign(const Tensor& a);
+
+// ---- linear algebra ----
+// a: [M,K], b: [K,N] -> [M,N]
+Tensor matmul(const Tensor& a, const Tensor& b);
+// a: [M,N] -> [N,M]
+Tensor transpose2d(const Tensor& a);
+float dot(const Tensor& a, const Tensor& b);
+
+// ---- structured reductions / broadcasts used by autograd vjps ----
+// x: [N,C] -> [N,1]
+Tensor row_sum(const Tensor& x);
+// x: [N,C] -> [N,1], maximum per row
+Tensor row_max(const Tensor& x);
+// x: [N,1] -> [N,C] (repeat each row value C times)
+Tensor broadcast_col(const Tensor& x, std::int64_t c);
+// x: [N,C] -> [C] (sum over rows)
+Tensor col_sum(const Tensor& x);
+// x: [C] -> [N,C]
+Tensor broadcast_row(const Tensor& x, std::int64_t n);
+// x: [1] -> given shape (repeat scalar)
+Tensor expand_scalar(const Tensor& x, const Shape& shape);
+// all-elements sum -> [1]
+Tensor sum_all(const Tensor& x);
+// x: [N,C], idx: size-N labels -> [N,1] with x[i, idx[i]]
+Tensor pick(const Tensor& x, const std::vector<std::int64_t>& idx);
+// s: [N,1], idx -> [N,C] zeros with s[i] at column idx[i]
+Tensor scatter(const Tensor& s, const std::vector<std::int64_t>& idx,
+               std::int64_t c);
+
+bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+
+}  // namespace fedcl::tensor

@@ -1,0 +1,106 @@
+#include "tensor/tensor_list.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fedcl::tensor::list {
+
+TensorList zeros_like(const TensorList& a) {
+  TensorList out;
+  out.reserve(a.size());
+  for (const Tensor& t : a) out.emplace_back(t.shape());
+  return out;
+}
+
+TensorList clone(const TensorList& a) {
+  TensorList out;
+  out.reserve(a.size());
+  for (const Tensor& t : a) out.push_back(t.clone());
+  return out;
+}
+
+void add_(TensorList& a, const TensorList& b, float alpha) {
+  FEDCL_CHECK_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i].add_(b[i], alpha);
+}
+
+void scale_(TensorList& a, float s) {
+  for (Tensor& t : a) t.scale_(s);
+}
+
+void add_gaussian_noise_(TensorList& a, Rng& rng, float stddev) {
+  for (Tensor& t : a) t.add_gaussian_noise_(rng, stddev);
+}
+
+double l2_norm(const TensorList& a) {
+  double s = 0.0;
+  for (const Tensor& t : a) {
+    double n = t.l2_norm();
+    s += n * n;
+  }
+  return std::sqrt(s);
+}
+
+double l2_norm_subset(const TensorList& a,
+                      const std::vector<std::size_t>& idx) {
+  double s = 0.0;
+  for (std::size_t i : idx) {
+    FEDCL_CHECK_LT(i, a.size());
+    double n = a[i].l2_norm();
+    s += n * n;
+  }
+  return std::sqrt(s);
+}
+
+std::int64_t total_numel(const TensorList& a) {
+  std::int64_t n = 0;
+  for (const Tensor& t : a) n += t.numel();
+  return n;
+}
+
+Tensor flatten(const TensorList& a) {
+  Tensor out({total_numel(a)});
+  float* p = out.data();
+  for (const Tensor& t : a) {
+    std::memcpy(p, t.data(), sizeof(float) * static_cast<std::size_t>(t.numel()));
+    p += t.numel();
+  }
+  return out;
+}
+
+TensorList unflatten(const Tensor& flat, const std::vector<Shape>& shapes) {
+  TensorList out;
+  out.reserve(shapes.size());
+  const float* p = flat.data();
+  std::int64_t consumed = 0;
+  for (const Shape& s : shapes) {
+    Tensor t(s);
+    std::memcpy(t.data(), p + consumed,
+                sizeof(float) * static_cast<std::size_t>(t.numel()));
+    consumed += t.numel();
+    out.push_back(std::move(t));
+  }
+  FEDCL_CHECK_EQ(consumed, flat.numel());
+  return out;
+}
+
+std::vector<Shape> shapes_of(const TensorList& a) {
+  std::vector<Shape> out;
+  out.reserve(a.size());
+  for (const Tensor& t : a) out.push_back(t.shape());
+  return out;
+}
+
+bool allclose(const TensorList& a, const TensorList& b, float atol,
+              float rtol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!tensor::allclose(a[i], b[i], atol, rtol)) return false;
+  }
+  return true;
+}
+
+}  // namespace fedcl::tensor::list

@@ -1,0 +1,38 @@
+// Helpers over ordered lists of tensors (one list entry per model
+// parameter). Model updates, gradients and DP sanitization all operate
+// on such lists.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedcl {
+class Rng;
+}
+
+namespace fedcl::tensor::list {
+
+using TensorList = std::vector<Tensor>;
+
+TensorList zeros_like(const TensorList& a);
+TensorList clone(const TensorList& a);
+// a += alpha * b (elementwise per entry; shapes must match).
+void add_(TensorList& a, const TensorList& b, float alpha = 1.0f);
+void scale_(TensorList& a, float s);
+void add_gaussian_noise_(TensorList& a, Rng& rng, float stddev);
+// L2 norm over the concatenation of all entries.
+double l2_norm(const TensorList& a);
+double l2_norm_subset(const TensorList& a, const std::vector<std::size_t>& idx);
+std::int64_t total_numel(const TensorList& a);
+
+// Concatenate all entries into one flat [total] tensor.
+Tensor flatten(const TensorList& a);
+// Inverse of flatten given the original shapes.
+TensorList unflatten(const Tensor& flat, const std::vector<Shape>& shapes);
+std::vector<Shape> shapes_of(const TensorList& a);
+
+bool allclose(const TensorList& a, const TensorList& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+
+}  // namespace fedcl::tensor::list

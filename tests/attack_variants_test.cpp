@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/reconstruction.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "nn/grad_utils.h"
+#include "nn/model_zoo.h"
+
+namespace fedcl::attack {
+namespace {
+
+using tensor::Tensor;
+
+struct VariantFixture {
+  std::shared_ptr<nn::Sequential> model;
+  data::Batch example;
+  data::Batch batch;
+  TensorList example_gradient;
+  TensorList batch_gradient;
+
+  VariantFixture() {
+    Rng rng(41);
+    data::SyntheticSpec spec{.example_shape = {8, 8, 1},
+                             .classes = 6,
+                             .count = 12};
+    Rng drng = rng.fork("d");
+    data::Dataset ds = data::generate_synthetic(spec, drng);
+    nn::ModelSpec ms{.kind = nn::ModelSpec::Kind::kImageCnn,
+                     .height = 8,
+                     .width = 8,
+                     .channels = 1,
+                     .classes = 6,
+                     .activation = nn::Activation::kSigmoid,
+                     .conv1_channels = 4,
+                     .conv2_channels = 8};
+    Rng mrng = rng.fork("m");
+    model = nn::build_model(ms, mrng);
+    example = ds.example(0);
+    // Batch of 3 with distinct labels {0,1,2} (balanced generation).
+    batch = ds.gather({0, 1, 2});
+    example_gradient =
+        nn::compute_gradients(*model, example.x, example.labels);
+    batch_gradient = nn::compute_gradients(*model, batch.x, batch.labels);
+  }
+};
+
+TEST(CosineAttack, RecoversInput) {
+  VariantFixture fx;
+  AttackConfig config;
+  config.objective = AttackObjective::kCosine;
+  config.max_iterations = 250;
+  GradientReconstructionAttack attack(fx.model, config);
+  AttackResult result = attack.run(fx.example_gradient,
+                                   fx.example.x.shape(), fx.example.labels,
+                                   fx.example.x);
+  EXPECT_TRUE(result.success);
+  EXPECT_LT(result.reconstruction_distance, 0.2);
+}
+
+TEST(CosineAttack, TvPriorStillRecovers) {
+  VariantFixture fx;
+  AttackConfig config;
+  config.objective = AttackObjective::kCosine;
+  config.tv_weight = 1e-4;
+  config.max_iterations = 250;
+  GradientReconstructionAttack attack(fx.model, config);
+  AttackResult result = attack.run(fx.example_gradient,
+                                   fx.example.x.shape(), fx.example.labels,
+                                   fx.example.x);
+  EXPECT_TRUE(result.success);
+}
+
+TEST(CosineAttack, ScaleInvariance) {
+  // Cosine matching is invariant to the observed gradient's scale —
+  // the attack succeeds even when the observation was rescaled (e.g.
+  // an update seen through an unknown learning rate), where L2 fails.
+  VariantFixture fx;
+  TensorList scaled = tensor::list::clone(fx.example_gradient);
+  tensor::list::scale_(scaled, 37.5f);
+  AttackConfig config;
+  config.objective = AttackObjective::kCosine;
+  config.max_iterations = 250;
+  GradientReconstructionAttack attack(fx.model, config);
+  AttackResult result = attack.run(scaled, fx.example.x.shape(),
+                                   fx.example.labels, fx.example.x);
+  EXPECT_TRUE(result.success);
+}
+
+TEST(CosineAttack, ObjectiveNames) {
+  EXPECT_STREQ(attack_objective_name(AttackObjective::kL2), "L2");
+  EXPECT_STREQ(attack_objective_name(AttackObjective::kCosine), "cosine");
+}
+
+TEST(BatchLabels, RecoversDistinctLabels) {
+  VariantFixture fx;
+  std::vector<std::int64_t> inferred =
+      GradientReconstructionAttack::infer_batch_labels(fx.batch_gradient,
+                                                       3);
+  std::vector<std::int64_t> expected = fx.batch.labels;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(inferred, expected);
+}
+
+TEST(BatchLabels, SingleExampleMatchesIdlg) {
+  VariantFixture fx;
+  std::vector<std::int64_t> inferred =
+      GradientReconstructionAttack::infer_batch_labels(
+          fx.example_gradient, 1);
+  ASSERT_EQ(inferred.size(), 1u);
+  EXPECT_EQ(inferred[0], GradientReconstructionAttack::infer_label(
+                             fx.example_gradient));
+}
+
+TEST(BatchLabels, RepeatedLabelsFilledByMagnitude) {
+  // Two copies of the same example: only one negative bias entry, so
+  // the second slot is filled with the most negative class again.
+  VariantFixture fx;
+  data::Batch doubled;
+  {
+    tensor::Shape s = fx.example.x.shape();
+    s[0] = 2;
+    doubled.x = Tensor(s);
+    const std::int64_t row = fx.example.x.numel();
+    std::copy(fx.example.x.data(), fx.example.x.data() + row,
+              doubled.x.data());
+    std::copy(fx.example.x.data(), fx.example.x.data() + row,
+              doubled.x.data() + row);
+    doubled.labels = {fx.example.labels[0], fx.example.labels[0]};
+  }
+  TensorList grads =
+      nn::compute_gradients(*fx.model, doubled.x, doubled.labels);
+  std::vector<std::int64_t> inferred =
+      GradientReconstructionAttack::infer_batch_labels(grads, 2);
+  EXPECT_EQ(inferred,
+            (std::vector<std::int64_t>{fx.example.labels[0],
+                                       fx.example.labels[0]}));
+}
+
+TEST(BatchLabels, Validation) {
+  VariantFixture fx;
+  EXPECT_THROW(GradientReconstructionAttack::infer_batch_labels(
+                   fx.example_gradient, 0),
+               fedcl::Error);
+  EXPECT_THROW(GradientReconstructionAttack::infer_batch_labels({}, 1),
+               fedcl::Error);
+}
+
+TEST(TvPrior, RejectsNegativeWeight) {
+  VariantFixture fx;
+  AttackConfig config;
+  config.tv_weight = -1.0;
+  EXPECT_THROW(GradientReconstructionAttack(fx.model, config), fedcl::Error);
+}
+
+}  // namespace
+}  // namespace fedcl::attack

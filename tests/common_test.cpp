@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+namespace fedcl {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    FEDCL_CHECK(1 == 2) << "custom detail " << 42;
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, ComparisonMacros) {
+  EXPECT_THROW(FEDCL_CHECK_EQ(1, 2), Error);
+  EXPECT_THROW(FEDCL_CHECK_LT(2, 1), Error);
+  EXPECT_NO_THROW(FEDCL_CHECK_LE(1, 1));
+  EXPECT_NO_THROW(FEDCL_CHECK_GE(2, 1));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng root(7);
+  Rng c0 = root.fork("client", 0);
+  Rng c1 = root.fork("client", 1);
+  Rng d0 = root.fork("data", 0);
+  EXPECT_NE(c0.next_u64(), c1.next_u64());
+  EXPECT_NE(root.fork("client", 0).next_u64(), d0.next_u64());
+  // Fork does not consume parent state.
+  Rng root2(7);
+  EXPECT_EQ(root.next_u64(), root2.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    auto v = rng.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+  EXPECT_THROW(rng.uniform_int(0), Error);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(3);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  double m = sum / n;
+  double var = sq / n - m * m;
+  EXPECT_NEAR(m, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(4);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  double m = sum / n;
+  double var = sq / n - m * m;
+  EXPECT_NEAR(m, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.03);
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(6);
+  auto s = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  auto s2 = rng.sample_without_replacement(100, 5);
+  EXPECT_EQ(s2.size(), 5u);
+  std::set<std::size_t> uniq2(s2.begin(), s2.end());
+  EXPECT_EQ(uniq2.size(), 5u);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), Error);
+}
+
+TEST(Rng, SampleWithReplacement) {
+  Rng rng(7);
+  auto s = rng.sample_with_replacement(5, 1000);
+  EXPECT_EQ(s.size(), 1000u);
+  for (auto v : s) EXPECT_LT(v, 5u);
+}
+
+TEST(Rng, Shuffle) {
+  Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);  // permutation
+}
+
+TEST(Stats, MeanVarMedian) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(min_of(v), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 4.0);
+  EXPECT_THROW(mean({}), Error);
+}
+
+TEST(Stats, Rmse) {
+  std::vector<float> a{0.f, 0.f, 0.f};
+  std::vector<float> b{3.f, 4.f, 0.f};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(25.0 / 3.0), 1e-6);
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Stats, Pearson) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+  std::vector<double> flat{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(a, flat), 0.0);
+}
+
+TEST(Table, RendersAligned) {
+  AsciiTable t("title");
+  t.set_header({"a", "bbbb"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  std::string s = t.render();
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("| longer |"), std::string::npos);
+  EXPECT_NE(s.find("| bbbb"), std::string::npos);
+}
+
+TEST(Table, Fmt) {
+  EXPECT_EQ(AsciiTable::fmt(0.5, 2), "0.50");
+  EXPECT_EQ(AsciiTable::fmt(1.23456, 3), "1.235");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::size_t i) {
+                          if (i == 2) throw Error("boom");
+                        }),
+      Error);
+}
+
+TEST(ThreadPool, SubmitFuture) {
+  ThreadPool pool(1);
+  int x = 0;
+  pool.submit([&] { x = 7; }).get();
+  EXPECT_EQ(x, 7);
+}
+
+}  // namespace
+}  // namespace fedcl

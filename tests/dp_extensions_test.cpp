@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "dp/accountant.h"
+#include "dp/adaptive_clipping.h"
+#include "dp/laplace.h"
+
+namespace fedcl::dp {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Laplace, ScaleFromEpsilonAndSensitivity) {
+  LaplaceMechanism mech(/*epsilon=*/0.5, /*l1_sensitivity=*/2.0);
+  EXPECT_DOUBLE_EQ(mech.scale(), 4.0);
+  EXPECT_THROW(LaplaceMechanism(0.0, 1.0), Error);
+  EXPECT_THROW(LaplaceMechanism(1.0, 0.0), Error);
+}
+
+TEST(Laplace, SampleMomentsMatchDistribution) {
+  Rng rng(1);
+  const double b = 3.0;
+  const int n = 40000;
+  double sum = 0.0, abs_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = LaplaceMechanism::sample(rng, b);
+    sum += x;
+    abs_sum += std::abs(x);
+  }
+  // Laplace(0, b): mean 0, E|x| = b.
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  EXPECT_NEAR(abs_sum / n, b, 0.1);
+}
+
+TEST(Laplace, SanitizePerturbsEveryTensor) {
+  LaplaceMechanism mech(1.0, 1.0);
+  Rng rng(2);
+  tensor::list::TensorList u = {Tensor::zeros({64}), Tensor::zeros({32})};
+  mech.sanitize(u, rng);
+  EXPECT_GT(u[0].l2_norm(), 0.0f);
+  EXPECT_GT(u[1].l2_norm(), 0.0f);
+}
+
+TEST(MedianNormEstimator, MedianOfWindow) {
+  MedianNormEstimator est(5);
+  EXPECT_FALSE(est.ready());
+  EXPECT_THROW(est.median(), Error);
+  for (double v : {1.0, 9.0, 5.0}) est.observe(v);
+  EXPECT_TRUE(est.ready());
+  EXPECT_DOUBLE_EQ(est.median(), 5.0);
+  est.observe(7.0);  // {1,9,5,7} -> median 6
+  EXPECT_DOUBLE_EQ(est.median(), 6.0);
+}
+
+TEST(MedianNormEstimator, WindowEvictsOldest) {
+  MedianNormEstimator est(3);
+  for (double v : {100.0, 1.0, 2.0, 3.0}) est.observe(v);
+  // 100 evicted; window {1,2,3}.
+  EXPECT_EQ(est.count(), 3u);
+  EXPECT_DOUBLE_EQ(est.median(), 2.0);
+  EXPECT_THROW(MedianNormEstimator(0), Error);
+  EXPECT_THROW(est.observe(-1.0), Error);
+}
+
+TEST(RdpConversion, ImprovedNeverWorseThanClassic) {
+  for (double q : {0.005, 0.01, 0.02}) {
+    MomentsAccountant acc(q, 6.0);
+    for (std::int64_t steps : {100, 1000, 10000}) {
+      const double classic =
+          acc.epsilon(steps, 1e-5, RdpConversion::kClassic);
+      const double improved =
+          acc.epsilon(steps, 1e-5, RdpConversion::kImproved);
+      EXPECT_LE(improved, classic + 1e-12)
+          << "q=" << q << " steps=" << steps;
+      EXPECT_GE(improved, 0.0);
+    }
+  }
+}
+
+TEST(RdpConversion, ImprovedStillMonotoneInSteps) {
+  MomentsAccountant acc(0.01, 6.0);
+  double prev = 0.0;
+  for (std::int64_t steps : {10, 100, 1000}) {
+    const double eps = acc.epsilon(steps, 1e-5, RdpConversion::kImproved);
+    EXPECT_GE(eps, prev);
+    prev = eps;
+  }
+}
+
+}  // namespace
+}  // namespace fedcl::dp

@@ -1,0 +1,186 @@
+// Property-style parameterized suites over randomized inputs:
+// invariants that must hold for any shape/seed, exercised across a
+// sweep rather than hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dp/clipping.h"
+#include "fl/compression.h"
+#include "fl/protocol.h"
+#include "nn/grad_utils.h"
+#include "nn/loss.h"
+#include "nn/model_zoo.h"
+#include "tensor/ops.h"
+#include "testing/gradcheck.h"
+
+namespace fedcl {
+namespace {
+
+namespace o = tensor::ops;
+using tensor::Shape;
+using tensor::Tensor;
+using tensor::Var;
+using fedcl::testing::expect_gradcheck;
+
+// ---- serialization round-trips over random payloads ----
+
+class ProtocolRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolRoundTrip, RandomUpdateSurvivesSerializeAndSeal) {
+  Rng rng(GetParam());
+  fl::ClientUpdate u;
+  u.client_id = static_cast<std::int64_t>(rng.uniform_int(1000));
+  u.round = static_cast<std::int64_t>(rng.uniform_int(100));
+  const std::size_t tensors = 1 + rng.uniform_int(4);
+  for (std::size_t i = 0; i < tensors; ++i) {
+    Shape shape;
+    const std::size_t rank = 1 + rng.uniform_int(3);
+    for (std::size_t d = 0; d < rank; ++d) {
+      shape.push_back(1 + static_cast<std::int64_t>(rng.uniform_int(6)));
+    }
+    u.delta.push_back(Tensor::randn(shape, rng));
+  }
+  fl::SecureChannel channel(GetParam() * 977 + 13);
+  fl::ClientUpdate back = fl::deserialize_update(
+      channel.open(channel.seal(fl::serialize_update(u))));
+  EXPECT_EQ(back.client_id, u.client_id);
+  EXPECT_EQ(back.round, u.round);
+  EXPECT_TRUE(tensor::list::allclose(back.delta, u.delta, 0.0f, 0.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+// ---- clipping invariants ----
+
+class ClippingInvariant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClippingInvariant, NormNeverExceedsBoundAndDirectionPreserved) {
+  Rng rng(GetParam());
+  dp::TensorList grads;
+  dp::ParamGroups groups;
+  const std::size_t layers = 1 + rng.uniform_int(4);
+  std::size_t index = 0;
+  for (std::size_t l = 0; l < layers; ++l) {
+    groups.push_back({index, index + 1});
+    grads.push_back(
+        Tensor::randn({static_cast<std::int64_t>(2 + rng.uniform_int(20))},
+                      rng, 0.0f, 5.0f));
+    grads.push_back(
+        Tensor::randn({static_cast<std::int64_t>(1 + rng.uniform_int(5))},
+                      rng, 0.0f, 5.0f));
+    index += 2;
+  }
+  dp::TensorList before = tensor::list::clone(grads);
+  const double bound = 0.5 + rng.uniform() * 4.0;
+  std::vector<double> norms = dp::clip_per_layer(grads, groups, bound);
+  for (std::size_t l = 0; l < layers; ++l) {
+    const double after =
+        tensor::list::l2_norm_subset(grads, groups[l]);
+    EXPECT_LE(after, bound * (1.0 + 1e-4));
+    // Unclipped groups untouched; clipped groups keep direction.
+    if (norms[l] <= bound) {
+      EXPECT_NEAR(after, norms[l], 1e-3);
+    } else if (before[groups[l][0]].numel() > 0) {
+      const float ratio = grads[groups[l][0]].at(0) /
+                          before[groups[l][0]].at(0);
+      EXPECT_NEAR(ratio, bound / norms[l], 1e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClippingInvariant,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+// ---- compression invariants ----
+
+class CompressionInvariant
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(CompressionInvariant, KeptCoordinatesDominatePruned) {
+  auto [seed, ratio] = GetParam();
+  Rng rng(seed);
+  fl::TensorList u = {Tensor::randn({64}, rng), Tensor::randn({37}, rng)};
+  fl::TensorList before = tensor::list::clone(u);
+  fl::prune_smallest(u, ratio);
+  EXPECT_NEAR(fl::sparsity(u),
+              std::floor(ratio * 101.0) / 101.0, 0.02);
+  // Every surviving |value| >= every pruned |value|.
+  float min_kept = 1e30f, max_pruned = 0.0f;
+  for (std::size_t t = 0; t < u.size(); ++t) {
+    for (std::int64_t i = 0; i < u[t].numel(); ++i) {
+      const float original = std::abs(before[t].at(i));
+      if (u[t].at(i) != 0.0f) {
+        min_kept = std::min(min_kept, original);
+      } else {
+        max_pruned = std::max(max_pruned, original);
+      }
+    }
+  }
+  EXPECT_GE(min_kept, max_pruned - 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompressionInvariant,
+    ::testing::Combine(::testing::Values(7u, 17u, 27u),
+                       ::testing::Values(0.1, 0.3, 0.5, 0.9)));
+
+// ---- gradient check over random model shapes ----
+
+class ModelGradcheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelGradcheck, MlpLossGradMatchesFiniteDifference) {
+  Rng rng(GetParam());
+  const std::int64_t in = 2 + static_cast<std::int64_t>(rng.uniform_int(5));
+  const std::int64_t classes =
+      2 + static_cast<std::int64_t>(rng.uniform_int(3));
+  nn::ModelSpec spec{.kind = nn::ModelSpec::Kind::kMlp,
+                     .in_features = in,
+                     .classes = classes,
+                     .activation = nn::Activation::kTanh,
+                     .hidden1 = 4,
+                     .hidden2 = 3};
+  auto model = nn::build_model(spec, rng);
+  Tensor x = Tensor::randn({2, in}, rng);
+  std::vector<std::int64_t> labels = {
+      static_cast<std::int64_t>(rng.uniform_int(classes)),
+      static_cast<std::int64_t>(rng.uniform_int(classes))};
+  // Check the gradient w.r.t. the *input* via the Var pathway (this is
+  // the quantity the leakage attack differentiates).
+  expect_gradcheck(
+      [&](const std::vector<Var>& v) {
+        return nn::softmax_cross_entropy(model->forward(v[0]), labels);
+      },
+      {x});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelGradcheck,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+// ---- determinism properties ----
+
+class DeterminismSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismSweep, GradientsAreReproducible) {
+  Rng rng_a(GetParam()), rng_b(GetParam());
+  nn::ModelSpec spec{.kind = nn::ModelSpec::Kind::kMlp,
+                     .in_features = 4,
+                     .classes = 2};
+  auto ma = nn::build_model(spec, rng_a);
+  auto mb = nn::build_model(spec, rng_b);
+  Rng da(GetParam() + 1), db(GetParam() + 1);
+  Tensor xa = Tensor::randn({3, 4}, da);
+  Tensor xb = Tensor::randn({3, 4}, db);
+  auto ga = nn::compute_gradients(*ma, xa, {0, 1, 0});
+  auto gb = nn::compute_gradients(*mb, xb, {0, 1, 0});
+  EXPECT_TRUE(tensor::list::allclose(ga, gb, 0.0f, 0.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
+                         ::testing::Values(1u, 1000u, 424242u));
+
+}  // namespace
+}  // namespace fedcl

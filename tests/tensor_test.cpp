@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/im2col.h"
+#include "tensor/tensor.h"
+
+namespace fedcl::tensor {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(t.at(i), 0.0f);
+  Tensor empty;
+  EXPECT_FALSE(empty.defined());
+}
+
+TEST(Tensor, Factories) {
+  EXPECT_EQ(Tensor::ones({2, 2}).sum(), 4.0f);
+  EXPECT_EQ(Tensor::full({3}, 2.5f).at(1), 2.5f);
+  EXPECT_EQ(Tensor::scalar(7.0f).item(), 7.0f);
+  Tensor v = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(v.at(3), 4.0f);
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Tensor, RandnStats) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({10000}, rng, 1.0f, 2.0f);
+  double m = t.sum() / t.numel();
+  EXPECT_NEAR(m, 1.0, 0.1);
+}
+
+TEST(Tensor, UniformRange) {
+  Rng rng(2);
+  Tensor t = Tensor::uniform({1000}, rng, -1.0f, 1.0f);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.at(i), -1.0f);
+    EXPECT_LT(t.at(i), 1.0f);
+  }
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor t = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshape({3, 2});
+  r.at(0) = 42.0f;
+  EXPECT_EQ(t.at(0), 42.0f);
+  EXPECT_THROW(t.reshape({4, 2}), Error);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t = Tensor::ones({3});
+  Tensor c = t.clone();
+  c.at(0) = 9.0f;
+  EXPECT_EQ(t.at(0), 1.0f);
+}
+
+TEST(Tensor, InPlaceOps) {
+  Tensor t = Tensor::ones({3});
+  t.scale_(2.0f);
+  EXPECT_EQ(t.at(1), 2.0f);
+  t.add_(Tensor::ones({3}), 0.5f);
+  EXPECT_EQ(t.at(2), 2.5f);
+  t.fill_(-1.0f);
+  EXPECT_EQ(t.sum(), -3.0f);
+  t.clamp_(-0.5f, 0.5f);
+  EXPECT_EQ(t.at(0), -0.5f);
+}
+
+TEST(Tensor, GaussianNoiseInPlace) {
+  Rng rng(3);
+  Tensor t = Tensor::zeros({20000});
+  t.add_gaussian_noise_(rng, 3.0f);
+  double m = t.sum() / t.numel();
+  EXPECT_NEAR(m, 0.0, 0.1);
+  double var = 0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) var += t.at(i) * t.at(i);
+  var /= t.numel();
+  EXPECT_NEAR(var, 9.0, 0.5);
+  // stddev 0 is a no-op
+  Tensor z = Tensor::ones({4});
+  z.add_gaussian_noise_(rng, 0.0f);
+  EXPECT_EQ(z.sum(), 4.0f);
+}
+
+TEST(Tensor, ElementwiseBinary) {
+  Tensor a = Tensor::from_vector({2}, {1, 2});
+  Tensor b = Tensor::from_vector({2}, {3, 5});
+  EXPECT_EQ(add(a, b).at(1), 7.0f);
+  EXPECT_EQ(sub(a, b).at(0), -2.0f);
+  EXPECT_EQ(mul(a, b).at(1), 10.0f);
+  EXPECT_NEAR(div(a, b).at(0), 1.0f / 3.0f, 1e-6);
+  EXPECT_THROW(add(a, Tensor::ones({3})), Error);
+}
+
+TEST(Tensor, ElementwiseUnary) {
+  Tensor a = Tensor::from_vector({3}, {-1, 0, 2});
+  EXPECT_EQ(neg(a).at(0), 1.0f);
+  EXPECT_EQ(relu(a).at(0), 0.0f);
+  EXPECT_EQ(relu(a).at(2), 2.0f);
+  EXPECT_EQ(step_mask(a).at(0), 0.0f);
+  EXPECT_EQ(step_mask(a).at(2), 1.0f);
+  EXPECT_NEAR(exp(a).at(2), std::exp(2.0f), 1e-5);
+  EXPECT_NEAR(sigmoid(a).at(1), 0.5f, 1e-6);
+  EXPECT_NEAR(tanh(a).at(2), std::tanh(2.0f), 1e-6);
+  EXPECT_NEAR(log(exp(a)).at(0), -1.0f, 1e-5);
+  EXPECT_NEAR(sqrt(Tensor::full({1}, 9.0f)).item(), 3.0f, 1e-6);
+  EXPECT_NEAR(pow_scalar(a, 2.0f).at(2), 4.0f, 1e-6);
+}
+
+TEST(Tensor, ScalarOps) {
+  Tensor a = Tensor::from_vector({2}, {1, 2});
+  EXPECT_EQ(add_scalar(a, 1.0f).at(1), 3.0f);
+  EXPECT_EQ(mul_scalar(a, -2.0f).at(0), -2.0f);
+}
+
+TEST(Tensor, Matmul) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_vector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.at(0), 58.0f);
+  EXPECT_EQ(c.at(1), 64.0f);
+  EXPECT_EQ(c.at(2), 139.0f);
+  EXPECT_EQ(c.at(3), 154.0f);
+  EXPECT_THROW(matmul(a, a), Error);
+}
+
+TEST(Tensor, Transpose) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose2d(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at(0), 1.0f);
+  EXPECT_EQ(t.at(1), 4.0f);
+  EXPECT_EQ(t.at(4), 3.0f);
+}
+
+TEST(Tensor, DotAndNorms) {
+  Tensor a = Tensor::from_vector({3}, {1, 2, 2});
+  EXPECT_EQ(dot(a, a), 9.0f);
+  EXPECT_EQ(a.l2_norm(), 3.0f);
+  EXPECT_EQ(a.max_abs(), 2.0f);
+}
+
+TEST(Tensor, RowColReductions) {
+  Tensor x = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor rs = row_sum(x);
+  EXPECT_EQ(rs.shape(), (Shape{2, 1}));
+  EXPECT_EQ(rs.at(0), 6.0f);
+  EXPECT_EQ(rs.at(1), 15.0f);
+  Tensor rm = row_max(x);
+  EXPECT_EQ(rm.at(0), 3.0f);
+  EXPECT_EQ(rm.at(1), 6.0f);
+  Tensor cs = col_sum(x);
+  EXPECT_EQ(cs.shape(), (Shape{3}));
+  EXPECT_EQ(cs.at(0), 5.0f);
+  EXPECT_EQ(cs.at(2), 9.0f);
+}
+
+TEST(Tensor, Broadcasts) {
+  Tensor col = Tensor::from_vector({2, 1}, {1, 2});
+  Tensor bc = broadcast_col(col, 3);
+  EXPECT_EQ(bc.shape(), (Shape{2, 3}));
+  EXPECT_EQ(bc.at(2), 1.0f);
+  EXPECT_EQ(bc.at(3), 2.0f);
+  Tensor row = Tensor::from_vector({3}, {1, 2, 3});
+  Tensor br = broadcast_row(row, 2);
+  EXPECT_EQ(br.shape(), (Shape{2, 3}));
+  EXPECT_EQ(br.at(5), 3.0f);
+  Tensor es = expand_scalar(Tensor::scalar(4.0f), {2, 2});
+  EXPECT_EQ(es.sum(), 16.0f);
+}
+
+TEST(Tensor, PickAndScatter) {
+  Tensor x = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor p = pick(x, {2, 0});
+  EXPECT_EQ(p.at(0), 3.0f);
+  EXPECT_EQ(p.at(1), 4.0f);
+  Tensor s = scatter(p, {2, 0}, 3);
+  EXPECT_EQ(s.at(2), 3.0f);
+  EXPECT_EQ(s.at(3), 4.0f);
+  EXPECT_EQ(s.at(0), 0.0f);
+  EXPECT_THROW(pick(x, {3, 0}), Error);
+}
+
+TEST(Tensor, Allclose) {
+  Tensor a = Tensor::ones({3});
+  Tensor b = a.clone();
+  EXPECT_TRUE(allclose(a, b));
+  b.at(0) = 1.1f;
+  EXPECT_FALSE(allclose(a, b));
+  EXPECT_FALSE(allclose(a, Tensor::ones({4})));
+}
+
+// ---- im2col / col2im ----
+
+TEST(Im2col, IdentityKernel) {
+  // 1x1 kernel stride 1: im2col is a flatten.
+  ConvSpec spec{.in_h = 2, .in_w = 2, .in_c = 3, .kernel_h = 1, .kernel_w = 1};
+  Rng rng(4);
+  Tensor x = Tensor::randn({1, 2, 2, 3}, rng);
+  Tensor cols = im2col(x, spec);
+  EXPECT_EQ(cols.shape(), (Shape{4, 3}));
+  EXPECT_TRUE(allclose(cols.reshape({12}), x.reshape({12})));
+}
+
+TEST(Im2col, KnownPatch) {
+  // 3x3 single-channel image, 2x2 kernel, stride 1 -> 4 patches.
+  ConvSpec spec{.in_h = 3, .in_w = 3, .in_c = 1, .kernel_h = 2, .kernel_w = 2};
+  Tensor x = Tensor::from_vector({1, 3, 3, 1}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor cols = im2col(x, spec);
+  EXPECT_EQ(cols.shape(), (Shape{4, 4}));
+  // First patch: rows (1,2),(4,5).
+  EXPECT_EQ(cols.at(0), 1.0f);
+  EXPECT_EQ(cols.at(1), 2.0f);
+  EXPECT_EQ(cols.at(2), 4.0f);
+  EXPECT_EQ(cols.at(3), 5.0f);
+  // Last patch: (5,6),(8,9).
+  EXPECT_EQ(cols.at(12), 5.0f);
+  EXPECT_EQ(cols.at(15), 9.0f);
+}
+
+TEST(Im2col, Padding) {
+  ConvSpec spec{.in_h = 2, .in_w = 2, .in_c = 1, .kernel_h = 3, .kernel_w = 3,
+                .stride = 1, .pad = 1};
+  EXPECT_EQ(spec.out_h(), 2);
+  Tensor x = Tensor::from_vector({1, 2, 2, 1}, {1, 2, 3, 4});
+  Tensor cols = im2col(x, spec);
+  EXPECT_EQ(cols.shape(), (Shape{4, 9}));
+  // Top-left patch has zeros in first row/col; center is x[0,0]=1.
+  EXPECT_EQ(cols.at(0), 0.0f);
+  EXPECT_EQ(cols.at(4), 1.0f);
+}
+
+TEST(Im2col, Col2imAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property the autograd vjp relies on.
+  ConvSpec spec{.in_h = 5, .in_w = 4, .in_c = 2, .kernel_h = 3, .kernel_w = 2,
+                .stride = 2, .pad = 1};
+  Rng rng(5);
+  Tensor x = Tensor::randn({2, 5, 4, 2}, rng);
+  Tensor cols = im2col(x, spec);
+  Tensor y = Tensor::randn(cols.shape(), rng);
+  Tensor back = col2im(y, spec, 2);
+  EXPECT_NEAR(dot(cols, y), dot(x, back), 1e-3);
+}
+
+TEST(Im2col, SpecValidation) {
+  ConvSpec bad{.in_h = 2, .in_w = 2, .in_c = 1, .kernel_h = 5, .kernel_w = 5};
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+}  // namespace
+}  // namespace fedcl::tensor
