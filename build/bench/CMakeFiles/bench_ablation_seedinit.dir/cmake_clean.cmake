@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_seedinit.dir/bench_ablation_seedinit.cpp.o"
+  "CMakeFiles/bench_ablation_seedinit.dir/bench_ablation_seedinit.cpp.o.d"
+  "bench_ablation_seedinit"
+  "bench_ablation_seedinit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_seedinit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

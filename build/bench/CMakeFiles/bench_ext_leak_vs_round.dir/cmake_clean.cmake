@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_leak_vs_round.dir/bench_ext_leak_vs_round.cpp.o"
+  "CMakeFiles/bench_ext_leak_vs_round.dir/bench_ext_leak_vs_round.cpp.o.d"
+  "bench_ext_leak_vs_round"
+  "bench_ext_leak_vs_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_leak_vs_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

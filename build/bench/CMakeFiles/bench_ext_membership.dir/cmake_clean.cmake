@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_membership.dir/bench_ext_membership.cpp.o"
+  "CMakeFiles/bench_ext_membership.dir/bench_ext_membership.cpp.o.d"
+  "bench_ext_membership"
+  "bench_ext_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

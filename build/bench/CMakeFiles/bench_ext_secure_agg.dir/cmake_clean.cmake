@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_secure_agg.dir/bench_ext_secure_agg.cpp.o"
+  "CMakeFiles/bench_ext_secure_agg.dir/bench_ext_secure_agg.cpp.o.d"
+  "bench_ext_secure_agg"
+  "bench_ext_secure_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_secure_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_gradnorm.dir/bench_fig3_gradnorm.cpp.o"
+  "CMakeFiles/bench_fig3_gradnorm.dir/bench_fig3_gradnorm.cpp.o.d"
+  "bench_fig3_gradnorm"
+  "bench_fig3_gradnorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_gradnorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

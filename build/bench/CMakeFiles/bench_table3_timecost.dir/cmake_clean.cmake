@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_timecost.dir/bench_table3_timecost.cpp.o"
+  "CMakeFiles/bench_table3_timecost.dir/bench_table3_timecost.cpp.o.d"
+  "bench_table3_timecost"
+  "bench_table3_timecost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_timecost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

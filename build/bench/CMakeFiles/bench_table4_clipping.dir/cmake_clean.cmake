@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_clipping.dir/bench_table4_clipping.cpp.o"
+  "CMakeFiles/bench_table4_clipping.dir/bench_table4_clipping.cpp.o.d"
+  "bench_table4_clipping"
+  "bench_table4_clipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_clipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_privacy.dir/bench_table6_privacy.cpp.o"
+  "CMakeFiles/bench_table6_privacy.dir/bench_table6_privacy.cpp.o.d"
+  "bench_table6_privacy"
+  "bench_table6_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_attack.dir/bench_table7_attack.cpp.o"
+  "CMakeFiles/bench_table7_attack.dir/bench_table7_attack.cpp.o.d"
+  "bench_table7_attack"
+  "bench_table7_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

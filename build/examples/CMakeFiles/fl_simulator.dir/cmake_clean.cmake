@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_simulator.dir/fl_simulator.cpp.o"
+  "CMakeFiles/fl_simulator.dir/fl_simulator.cpp.o.d"
+  "fl_simulator"
+  "fl_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

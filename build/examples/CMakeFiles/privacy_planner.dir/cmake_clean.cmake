@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_planner.dir/privacy_planner.cpp.o"
+  "CMakeFiles/privacy_planner.dir/privacy_planner.cpp.o.d"
+  "privacy_planner"
+  "privacy_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcl_attack.dir/lbfgs.cpp.o"
+  "CMakeFiles/fedcl_attack.dir/lbfgs.cpp.o.d"
+  "CMakeFiles/fedcl_attack.dir/leakage_eval.cpp.o"
+  "CMakeFiles/fedcl_attack.dir/leakage_eval.cpp.o.d"
+  "CMakeFiles/fedcl_attack.dir/membership.cpp.o"
+  "CMakeFiles/fedcl_attack.dir/membership.cpp.o.d"
+  "CMakeFiles/fedcl_attack.dir/reconstruction.cpp.o"
+  "CMakeFiles/fedcl_attack.dir/reconstruction.cpp.o.d"
+  "CMakeFiles/fedcl_attack.dir/seed_init.cpp.o"
+  "CMakeFiles/fedcl_attack.dir/seed_init.cpp.o.d"
+  "libfedcl_attack.a"
+  "libfedcl_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcl_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcl_common.dir/env.cpp.o"
+  "CMakeFiles/fedcl_common.dir/env.cpp.o.d"
+  "CMakeFiles/fedcl_common.dir/flags.cpp.o"
+  "CMakeFiles/fedcl_common.dir/flags.cpp.o.d"
+  "CMakeFiles/fedcl_common.dir/logging.cpp.o"
+  "CMakeFiles/fedcl_common.dir/logging.cpp.o.d"
+  "CMakeFiles/fedcl_common.dir/rng.cpp.o"
+  "CMakeFiles/fedcl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fedcl_common.dir/stats.cpp.o"
+  "CMakeFiles/fedcl_common.dir/stats.cpp.o.d"
+  "CMakeFiles/fedcl_common.dir/table.cpp.o"
+  "CMakeFiles/fedcl_common.dir/table.cpp.o.d"
+  "CMakeFiles/fedcl_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/fedcl_common.dir/thread_pool.cpp.o.d"
+  "libfedcl_common.a"
+  "libfedcl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

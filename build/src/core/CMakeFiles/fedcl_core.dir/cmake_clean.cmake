@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcl_core.dir/accounting.cpp.o"
+  "CMakeFiles/fedcl_core.dir/accounting.cpp.o.d"
+  "CMakeFiles/fedcl_core.dir/policy.cpp.o"
+  "CMakeFiles/fedcl_core.dir/policy.cpp.o.d"
+  "libfedcl_core.a"
+  "libfedcl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

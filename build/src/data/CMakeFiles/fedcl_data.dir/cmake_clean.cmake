@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcl_data.dir/benchmarks.cpp.o"
+  "CMakeFiles/fedcl_data.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/fedcl_data.dir/dataset.cpp.o"
+  "CMakeFiles/fedcl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/fedcl_data.dir/partition.cpp.o"
+  "CMakeFiles/fedcl_data.dir/partition.cpp.o.d"
+  "CMakeFiles/fedcl_data.dir/synthetic.cpp.o"
+  "CMakeFiles/fedcl_data.dir/synthetic.cpp.o.d"
+  "libfedcl_data.a"
+  "libfedcl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

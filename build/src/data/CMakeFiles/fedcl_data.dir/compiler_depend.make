@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fedcl_data.
+# This may be replaced when dependencies are built.

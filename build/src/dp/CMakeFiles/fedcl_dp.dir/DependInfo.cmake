@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/accountant.cpp" "src/dp/CMakeFiles/fedcl_dp.dir/accountant.cpp.o" "gcc" "src/dp/CMakeFiles/fedcl_dp.dir/accountant.cpp.o.d"
+  "/root/repo/src/dp/adaptive_clipping.cpp" "src/dp/CMakeFiles/fedcl_dp.dir/adaptive_clipping.cpp.o" "gcc" "src/dp/CMakeFiles/fedcl_dp.dir/adaptive_clipping.cpp.o.d"
+  "/root/repo/src/dp/clipping.cpp" "src/dp/CMakeFiles/fedcl_dp.dir/clipping.cpp.o" "gcc" "src/dp/CMakeFiles/fedcl_dp.dir/clipping.cpp.o.d"
+  "/root/repo/src/dp/gaussian.cpp" "src/dp/CMakeFiles/fedcl_dp.dir/gaussian.cpp.o" "gcc" "src/dp/CMakeFiles/fedcl_dp.dir/gaussian.cpp.o.d"
+  "/root/repo/src/dp/laplace.cpp" "src/dp/CMakeFiles/fedcl_dp.dir/laplace.cpp.o" "gcc" "src/dp/CMakeFiles/fedcl_dp.dir/laplace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fedcl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fedcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

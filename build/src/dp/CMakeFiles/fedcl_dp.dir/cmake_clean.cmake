@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcl_dp.dir/accountant.cpp.o"
+  "CMakeFiles/fedcl_dp.dir/accountant.cpp.o.d"
+  "CMakeFiles/fedcl_dp.dir/adaptive_clipping.cpp.o"
+  "CMakeFiles/fedcl_dp.dir/adaptive_clipping.cpp.o.d"
+  "CMakeFiles/fedcl_dp.dir/clipping.cpp.o"
+  "CMakeFiles/fedcl_dp.dir/clipping.cpp.o.d"
+  "CMakeFiles/fedcl_dp.dir/gaussian.cpp.o"
+  "CMakeFiles/fedcl_dp.dir/gaussian.cpp.o.d"
+  "CMakeFiles/fedcl_dp.dir/laplace.cpp.o"
+  "CMakeFiles/fedcl_dp.dir/laplace.cpp.o.d"
+  "libfedcl_dp.a"
+  "libfedcl_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcl_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

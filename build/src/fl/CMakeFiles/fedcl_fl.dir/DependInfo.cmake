@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/client.cpp" "src/fl/CMakeFiles/fedcl_fl.dir/client.cpp.o" "gcc" "src/fl/CMakeFiles/fedcl_fl.dir/client.cpp.o.d"
+  "/root/repo/src/fl/compression.cpp" "src/fl/CMakeFiles/fedcl_fl.dir/compression.cpp.o" "gcc" "src/fl/CMakeFiles/fedcl_fl.dir/compression.cpp.o.d"
+  "/root/repo/src/fl/dssgd.cpp" "src/fl/CMakeFiles/fedcl_fl.dir/dssgd.cpp.o" "gcc" "src/fl/CMakeFiles/fedcl_fl.dir/dssgd.cpp.o.d"
+  "/root/repo/src/fl/protocol.cpp" "src/fl/CMakeFiles/fedcl_fl.dir/protocol.cpp.o" "gcc" "src/fl/CMakeFiles/fedcl_fl.dir/protocol.cpp.o.d"
+  "/root/repo/src/fl/secure_aggregation.cpp" "src/fl/CMakeFiles/fedcl_fl.dir/secure_aggregation.cpp.o" "gcc" "src/fl/CMakeFiles/fedcl_fl.dir/secure_aggregation.cpp.o.d"
+  "/root/repo/src/fl/server.cpp" "src/fl/CMakeFiles/fedcl_fl.dir/server.cpp.o" "gcc" "src/fl/CMakeFiles/fedcl_fl.dir/server.cpp.o.d"
+  "/root/repo/src/fl/trainer.cpp" "src/fl/CMakeFiles/fedcl_fl.dir/trainer.cpp.o" "gcc" "src/fl/CMakeFiles/fedcl_fl.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fedcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fedcl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fedcl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/fedcl_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fedcl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fedcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcl_fl.dir/client.cpp.o"
+  "CMakeFiles/fedcl_fl.dir/client.cpp.o.d"
+  "CMakeFiles/fedcl_fl.dir/compression.cpp.o"
+  "CMakeFiles/fedcl_fl.dir/compression.cpp.o.d"
+  "CMakeFiles/fedcl_fl.dir/dssgd.cpp.o"
+  "CMakeFiles/fedcl_fl.dir/dssgd.cpp.o.d"
+  "CMakeFiles/fedcl_fl.dir/protocol.cpp.o"
+  "CMakeFiles/fedcl_fl.dir/protocol.cpp.o.d"
+  "CMakeFiles/fedcl_fl.dir/secure_aggregation.cpp.o"
+  "CMakeFiles/fedcl_fl.dir/secure_aggregation.cpp.o.d"
+  "CMakeFiles/fedcl_fl.dir/server.cpp.o"
+  "CMakeFiles/fedcl_fl.dir/server.cpp.o.d"
+  "CMakeFiles/fedcl_fl.dir/trainer.cpp.o"
+  "CMakeFiles/fedcl_fl.dir/trainer.cpp.o.d"
+  "libfedcl_fl.a"
+  "libfedcl_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcl_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/fedcl_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/fedcl_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/grad_utils.cpp" "src/nn/CMakeFiles/fedcl_nn.dir/grad_utils.cpp.o" "gcc" "src/nn/CMakeFiles/fedcl_nn.dir/grad_utils.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/fedcl_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/fedcl_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/fedcl_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/fedcl_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/fedcl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/fedcl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/fedcl_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/fedcl_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/fedcl_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/fedcl_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/fedcl_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/fedcl_nn.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fedcl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fedcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcl_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/fedcl_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/fedcl_nn.dir/grad_utils.cpp.o"
+  "CMakeFiles/fedcl_nn.dir/grad_utils.cpp.o.d"
+  "CMakeFiles/fedcl_nn.dir/layer.cpp.o"
+  "CMakeFiles/fedcl_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/fedcl_nn.dir/layers.cpp.o"
+  "CMakeFiles/fedcl_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/fedcl_nn.dir/loss.cpp.o"
+  "CMakeFiles/fedcl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fedcl_nn.dir/metrics.cpp.o"
+  "CMakeFiles/fedcl_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/fedcl_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/fedcl_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/fedcl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/fedcl_nn.dir/optimizer.cpp.o.d"
+  "libfedcl_nn.a"
+  "libfedcl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcl_tensor.dir/autograd.cpp.o"
+  "CMakeFiles/fedcl_tensor.dir/autograd.cpp.o.d"
+  "CMakeFiles/fedcl_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/fedcl_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/fedcl_tensor.dir/ops.cpp.o"
+  "CMakeFiles/fedcl_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/fedcl_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/fedcl_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/fedcl_tensor.dir/tensor_list.cpp.o"
+  "CMakeFiles/fedcl_tensor.dir/tensor_list.cpp.o.d"
+  "libfedcl_tensor.a"
+  "libfedcl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_variants_test.dir/attack_variants_test.cpp.o"
+  "CMakeFiles/attack_variants_test.dir/attack_variants_test.cpp.o.d"
+  "attack_variants_test"
+  "attack_variants_test.pdb"
+  "attack_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

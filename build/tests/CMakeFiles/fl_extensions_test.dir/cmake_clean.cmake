@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_extensions_test.dir/fl_extensions_test.cpp.o"
+  "CMakeFiles/fl_extensions_test.dir/fl_extensions_test.cpp.o.d"
+  "fl_extensions_test"
+  "fl_extensions_test.pdb"
+  "fl_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_extensions_test.dir/ops_extensions_test.cpp.o"
+  "CMakeFiles/ops_extensions_test.dir/ops_extensions_test.cpp.o.d"
+  "ops_extensions_test"
+  "ops_extensions_test.pdb"
+  "ops_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/autograd_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/dp_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/fl_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_test[1]_include.cmake")
+include("/root/repo/build/tests/dp_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/fl_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/core_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/membership_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_variants_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_api_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
