@@ -1,0 +1,109 @@
+// Extension experiment: accuracy and rounds-completed vs injected fault
+// rate. The round engine's screening + quorum machinery (see DESIGN.md
+// "Fault model") should degrade gracefully: every run completes all
+// scheduled rounds without aborting, faulty updates are screened out,
+// and accuracy decays smoothly with the fault rate instead of
+// collapsing — under non-private FL as well as Fed-SDP and Fed-CDP.
+// Emits a machine-readable JSON document after the table.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/policy.h"
+#include "data/benchmarks.h"
+#include "fl/trainer.h"
+
+int main() {
+  using namespace fedcl;
+  bench::print_preamble(
+      "bench_ext_faults",
+      "extension: graceful degradation vs client fault rate");
+
+  const bench::FederationScale fed = bench::federation_scale();
+  const std::vector<double> fault_rates = {0.0, 0.1, 0.2, 0.3};
+
+  fl::FlExperimentConfig base;
+  base.bench = data::benchmark_config(data::BenchmarkId::kCancer);
+  base.total_clients = fed.default_clients;
+  base.clients_per_round = fed.default_per_round;
+  if (fed.sweep_rounds > 0) base.rounds = fed.sweep_rounds;
+  base.seed = experiment_seed();
+
+  const std::int64_t rounds = base.effective_rounds();
+  bench::PolicySet policies = bench::make_policy_set(rounds);
+  const std::vector<std::pair<std::string, const core::PrivacyPolicy*>>
+      contenders = {{"non-private", policies.non_private.get()},
+                    {"Fed-SDP", policies.fed_sdp.get()},
+                    {"Fed-CDP", policies.fed_cdp.get()}};
+
+  std::printf(
+      "faults: uniform mix of crash / straggler / corrupt-delta / "
+      "bit-flip / stale-replay; K=%lld, Kt=%lld, T=%lld\n\n",
+      static_cast<long long>(base.total_clients),
+      static_cast<long long>(base.clients_per_round),
+      static_cast<long long>(rounds));
+
+  struct Row {
+    std::string policy;
+    double fault_rate;
+    fl::FlRunResult result;
+  };
+  std::vector<Row> rows;
+
+  AsciiTable table("accuracy and completed rounds vs fault rate");
+  table.set_header({"policy", "fault rate", "accuracy", "rounds done",
+                    "injected", "screened", "retried"});
+  for (const auto& [name, policy] : contenders) {
+    for (double rate : fault_rates) {
+      fl::FlExperimentConfig config = base;
+      config.faults.fault_rate = rate;
+      fl::FlRunResult result = fl::run_experiment(config, *policy);
+      const fl::RoundFailureStats& f = result.total_failures;
+      table.add_row(
+          {name, AsciiTable::fmt(rate),
+           AsciiTable::fmt(result.final_accuracy),
+           std::to_string(result.completed_rounds) + "/" +
+               std::to_string(rounds),
+           std::to_string(f.injected_total()),
+           std::to_string(f.rejected_total()),
+           std::to_string(f.retried_clients)});
+      rows.push_back({name, rate, std::move(result)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nExpected shape: rounds-completed stays at T/T across the sweep "
+      "(graceful degradation, never an abort); accuracy drifts down "
+      "mildly with the fault rate because each faulty client costs the "
+      "round one update; DP policies start lower but degrade in "
+      "parallel — screening is orthogonal to the privacy mechanism.\n");
+
+  // Machine-readable record of the sweep.
+  std::printf("\nbench_json = {\n  \"bench\": \"bench_ext_faults\",\n");
+  std::printf("  \"rounds\": %lld,\n  \"results\": [\n",
+              static_cast<long long>(rounds));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const fl::RoundFailureStats& f = rows[i].result.total_failures;
+    std::printf(
+        "    {\"policy\": \"%s\", \"fault_rate\": %.2f, "
+        "\"final_accuracy\": %.6f, \"completed_rounds\": %lld, "
+        "\"dropped_rounds\": %lld, \"injected\": %lld, "
+        "\"rejected\": %lld, \"retried\": %lld, \"quorum_missed\": "
+        "%lld}%s\n",
+        rows[i].policy.c_str(), rows[i].fault_rate,
+        rows[i].result.final_accuracy,
+        static_cast<long long>(rows[i].result.completed_rounds),
+        static_cast<long long>(rows[i].result.dropped_rounds),
+        static_cast<long long>(f.injected_total()),
+        static_cast<long long>(f.rejected_total()),
+        static_cast<long long>(f.retried_clients),
+        static_cast<long long>(f.quorum_missed),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

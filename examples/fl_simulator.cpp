@@ -67,7 +67,9 @@ void print_usage(const char* program) {
       "[--local-iters=L]\n"
       "          [--sigma=S] [--clip=C] [--prune=R] [--dropout=P]\n"
       "          [--server-momentum=M] [--weight-by-size] [--attack]\n"
-      "          [--seed=N] [--eval-every=N]\n",
+      "          [--seed=N] [--eval-every=N]\n"
+      "          [--fault-rate=P] [--min-reporting=N] [--no-retry]\n"
+      "          [--screen-outlier=F] [--screen-max-norm=C]\n",
       program);
 }
 
@@ -94,6 +96,13 @@ int main(int argc, char** argv) {
   config.eval_every = flags.get_int("eval-every", 5);
   config.seed = static_cast<std::uint64_t>(
       flags.get_int("seed", static_cast<std::int64_t>(experiment_seed())));
+  config.faults.fault_rate = flags.get_double("fault-rate", 0.0);
+  config.min_reporting = flags.get_int("min-reporting", 1);
+  config.retry_failed_clients = !flags.get_bool("no-retry", false);
+  config.screening.norm_outlier_factor =
+      flags.get_double("screen-outlier", 0.0);
+  config.screening.max_update_norm =
+      flags.get_double("screen-max-norm", 0.0);
 
   const double sigma =
       flags.get_double("sigma", data::default_noise_scale());
@@ -123,9 +132,36 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("final accuracy %.4f | %.2f ms per local iteration | "
-              "%lld dropped rounds\n",
+              "%lld/%lld rounds completed (%lld dropped)\n",
               result.final_accuracy, result.ms_per_local_iteration,
+              static_cast<long long>(result.completed_rounds),
+              static_cast<long long>(result.completed_rounds +
+                                     result.dropped_rounds),
               static_cast<long long>(result.dropped_rounds));
+
+  const fl::RoundFailureStats& f = result.total_failures;
+  if (f.injected_total() > 0 || f.dropouts > 0 || f.rejected_total() > 0) {
+    std::printf(
+        "faults: injected %lld (crash %lld, straggler %lld, corrupt %lld, "
+        "bit-flip %lld, stale %lld) + %lld dropouts\n"
+        "        rejected %lld (decode %lld, shape %lld, non-finite %lld, "
+        "norm %lld, stale %lld) | retried %lld | quorum missed %lld\n",
+        static_cast<long long>(f.injected_total()),
+        static_cast<long long>(f.injected_crash),
+        static_cast<long long>(f.injected_straggler),
+        static_cast<long long>(f.injected_corrupt),
+        static_cast<long long>(f.injected_bit_flip),
+        static_cast<long long>(f.injected_stale),
+        static_cast<long long>(f.dropouts),
+        static_cast<long long>(f.rejected_total()),
+        static_cast<long long>(f.rejected_decode),
+        static_cast<long long>(f.rejected_shape),
+        static_cast<long long>(f.rejected_non_finite),
+        static_cast<long long>(f.rejected_norm_outlier),
+        static_cast<long long>(f.rejected_stale),
+        static_cast<long long>(f.retried_clients),
+        static_cast<long long>(f.quorum_missed));
+  }
 
   core::PrivacyReport report = core::account_privacy(result.privacy_setup);
   std::printf("privacy: instance eps=%.4f, client eps (Fed-CDP joint "

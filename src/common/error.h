@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace fedcl {
 
@@ -16,6 +17,49 @@ namespace fedcl {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Recoverable failure of an operation whose inputs cross a trust
+// boundary (bytes off the wire, updates from unreliable clients).
+// Unlike FEDCL_CHECK — which flags caller bugs — a failed Result is an
+// expected runtime outcome the caller must branch on.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit ok
+  static Result failure(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    if (r.error_.empty()) r.error_ = "unknown error";
+    return r;
+  }
+
+  bool ok() const { return error_.empty(); }
+  explicit operator bool() const { return ok(); }
+  // Empty when ok().
+  const std::string& error() const { return error_; }
+
+  // value()/take() require ok(); violating that is a caller bug.
+  const T& value() const {
+    ensure_ok();
+    return value_;
+  }
+  T& value() {
+    ensure_ok();
+    return value_;
+  }
+  T&& take() {
+    ensure_ok();
+    return std::move(value_);
+  }
+
+ private:
+  Result() = default;
+  void ensure_ok() const {
+    if (!ok()) throw Error("Result accessed while failed: " + error_);
+  }
+  T value_{};
+  std::string error_;
 };
 
 namespace detail {

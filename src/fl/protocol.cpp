@@ -1,6 +1,7 @@
 #include "fl/protocol.h"
 
 #include <cstring>
+#include <limits>
 
 #include "common/error.h"
 
@@ -8,20 +9,49 @@ namespace fedcl::fl {
 
 namespace {
 
+// Reject implausible wire values before allocating anything: a flipped
+// bit in a count or dim field must fail cleanly, not request gigabytes.
+constexpr std::uint32_t kMaxTensors = 4096;
+constexpr std::uint32_t kMaxRank = 8;
+constexpr std::int64_t kMaxElements = std::int64_t{1} << 28;  // 1 GiB of f32
+
 template <typename T>
 void append_pod(std::vector<std::uint8_t>& out, const T& v) {
   const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
   out.insert(out.end(), p, p + sizeof(T));
 }
 
-template <typename T>
-T read_pod(const std::vector<std::uint8_t>& in, std::size_t& offset) {
-  FEDCL_CHECK_LE(offset + sizeof(T), in.size()) << "truncated message";
-  T v;
-  std::memcpy(&v, in.data() + offset, sizeof(T));
-  offset += sizeof(T);
-  return v;
-}
+// Bounds-checked read cursor over an untrusted buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  template <typename T>
+  bool read(T& out) {
+    if (sizeof(T) > remaining()) return false;
+    std::memcpy(&out, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return true;
+  }
+
+  bool read_floats(float* dst, std::size_t count) {
+    const std::size_t nbytes = sizeof(float) * count;
+    if (count > std::numeric_limits<std::size_t>::max() / sizeof(float) ||
+        nbytes > remaining()) {
+      return false;
+    }
+    std::memcpy(dst, bytes_.data() + offset_, nbytes);
+    offset_ += nbytes;
+    return true;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t offset_ = 0;
+};
 
 std::uint64_t splitmix64_step(std::uint64_t& state) {
   state += 0x9E3779B97F4A7C15ULL;
@@ -38,6 +68,16 @@ std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
     h *= 0x100000001B3ULL;
   }
   return h;
+}
+
+void apply_keystream(std::vector<std::uint8_t>& bytes, std::uint64_t key) {
+  std::uint64_t state = key;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i % 8 == 0) splitmix64_step(state);
+    std::uint64_t probe = state;
+    bytes[i] ^= static_cast<std::uint8_t>(
+        splitmix64_step(probe) >> ((i % 8) * 8));
+  }
 }
 
 }  // namespace
@@ -59,28 +99,45 @@ std::vector<std::uint8_t> serialize_update(const ClientUpdate& update) {
   return out;
 }
 
-ClientUpdate deserialize_update(const std::vector<std::uint8_t>& bytes) {
-  std::size_t offset = 0;
+Result<ClientUpdate> deserialize_update(
+    const std::vector<std::uint8_t>& bytes) {
+  using R = Result<ClientUpdate>;
+  ByteReader reader(bytes);
   ClientUpdate update;
-  update.client_id = read_pod<std::int64_t>(bytes, offset);
-  update.round = read_pod<std::int64_t>(bytes, offset);
-  const auto count = read_pod<std::uint32_t>(bytes, offset);
+  std::uint32_t count = 0;
+  if (!reader.read(update.client_id) || !reader.read(update.round) ||
+      !reader.read(count)) {
+    return R::failure("truncated header");
+  }
+  if (count > kMaxTensors) return R::failure("implausible tensor count");
   update.delta.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    const auto ndim = read_pod<std::uint32_t>(bytes, offset);
-    FEDCL_CHECK_LE(ndim, 8u) << "implausible tensor rank";
+    std::uint32_t ndim = 0;
+    if (!reader.read(ndim)) return R::failure("truncated tensor rank");
+    if (ndim > kMaxRank) return R::failure("implausible tensor rank");
     tensor::Shape shape;
+    std::int64_t numel = 1;
     for (std::uint32_t d = 0; d < ndim; ++d) {
-      shape.push_back(read_pod<std::int64_t>(bytes, offset));
+      std::int64_t dim = 0;
+      if (!reader.read(dim)) return R::failure("truncated tensor shape");
+      if (dim <= 0 || dim > kMaxElements || numel > kMaxElements / dim) {
+        return R::failure("implausible tensor dimension");
+      }
+      numel *= dim;
+      shape.push_back(dim);
+    }
+    // Cheap size check before the allocation the shape implies.
+    if (sizeof(float) * static_cast<std::size_t>(numel) >
+        reader.remaining()) {
+      return R::failure("truncated tensor data");
     }
     tensor::Tensor t(shape);
-    const std::size_t nbytes = sizeof(float) * static_cast<std::size_t>(t.numel());
-    FEDCL_CHECK_LE(offset + nbytes, bytes.size()) << "truncated tensor data";
-    std::memcpy(t.data(), bytes.data() + offset, nbytes);
-    offset += nbytes;
+    if (!reader.read_floats(t.data(), static_cast<std::size_t>(t.numel()))) {
+      return R::failure("truncated tensor data");
+    }
     update.delta.push_back(std::move(t));
   }
-  FEDCL_CHECK_EQ(offset, bytes.size()) << "trailing bytes in message";
+  if (reader.remaining() != 0) return R::failure("trailing bytes in message");
   return update;
 }
 
@@ -88,30 +145,23 @@ std::vector<std::uint8_t> SecureChannel::seal(
     std::vector<std::uint8_t> plaintext) const {
   const std::uint64_t tag = fnv1a(plaintext.data(), plaintext.size());
   append_pod(plaintext, tag);
-  std::uint64_t state = key_;
-  for (std::size_t i = 0; i < plaintext.size(); ++i) {
-    if (i % 8 == 0) splitmix64_step(state);
-    std::uint64_t probe = state;
-    plaintext[i] ^= static_cast<std::uint8_t>(
-        splitmix64_step(probe) >> ((i % 8) * 8));
-  }
+  apply_keystream(plaintext, key_);
   return plaintext;
 }
 
-std::vector<std::uint8_t> SecureChannel::open(
+Result<std::vector<std::uint8_t>> SecureChannel::open(
     std::vector<std::uint8_t> sealed) const {
-  FEDCL_CHECK_GE(sealed.size(), sizeof(std::uint64_t)) << "short ciphertext";
-  std::uint64_t state = key_;
-  for (std::size_t i = 0; i < sealed.size(); ++i) {
-    if (i % 8 == 0) splitmix64_step(state);
-    std::uint64_t probe = state;
-    sealed[i] ^= static_cast<std::uint8_t>(
-        splitmix64_step(probe) >> ((i % 8) * 8));
+  using R = Result<std::vector<std::uint8_t>>;
+  if (sealed.size() < sizeof(std::uint64_t)) {
+    return R::failure("short ciphertext");
   }
-  std::size_t body = sealed.size() - sizeof(std::uint64_t);
-  std::size_t offset = body;
-  const auto tag = read_pod<std::uint64_t>(sealed, offset);
-  FEDCL_CHECK_EQ(tag, fnv1a(sealed.data(), body)) << "integrity tag mismatch";
+  apply_keystream(sealed, key_);
+  const std::size_t body = sealed.size() - sizeof(std::uint64_t);
+  std::uint64_t tag = 0;
+  std::memcpy(&tag, sealed.data() + body, sizeof(tag));
+  if (tag != fnv1a(sealed.data(), body)) {
+    return R::failure("integrity tag mismatch");
+  }
   sealed.resize(body);
   return sealed;
 }

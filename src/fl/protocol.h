@@ -9,11 +9,17 @@
 // training loop. The cipher is a keystream XOR with an integrity tag —
 // deliberately simple and NOT real cryptography; transport security is
 // not what the paper (or this reproduction) evaluates.
+//
+// Bytes arriving at the server cross a trust boundary: open() and
+// deserialize_update() return a Result instead of throwing, so a
+// tampered, truncated, or malformed message is a per-client recoverable
+// event (the update is screened out) rather than a process-wide abort.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/error.h"
 #include "tensor/tensor_list.h"
 
 namespace fedcl::fl {
@@ -29,7 +35,9 @@ struct ClientUpdate {
 };
 
 std::vector<std::uint8_t> serialize_update(const ClientUpdate& update);
-ClientUpdate deserialize_update(const std::vector<std::uint8_t>& bytes);
+// Every read is bounds-checked; fails (never crashes or over-reads) on
+// truncated, oversized, or otherwise malformed buffers.
+Result<ClientUpdate> deserialize_update(const std::vector<std::uint8_t>& bytes);
 
 class SecureChannel {
  public:
@@ -37,8 +45,10 @@ class SecureChannel {
 
   // Encrypts and appends an integrity tag.
   std::vector<std::uint8_t> seal(std::vector<std::uint8_t> plaintext) const;
-  // Decrypts; FEDCL_CHECK-fails on a bad tag (tampered ciphertext).
-  std::vector<std::uint8_t> open(std::vector<std::uint8_t> sealed) const;
+  // Decrypts; fails on a short ciphertext or a bad tag (tampered or
+  // wrong-key ciphertext).
+  Result<std::vector<std::uint8_t>> open(
+      std::vector<std::uint8_t> sealed) const;
 
  private:
   std::uint64_t key_;

@@ -2,15 +2,19 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "tensor/shape.h"
 
 namespace fedcl::fl {
 
 Server::Server(TensorList initial_weights, AggregationOptions options)
-    : weights_(std::move(initial_weights)), options_(options) {
+    : weights_(std::move(initial_weights)),
+      options_(options),
+      screener_(options.screening) {
   FEDCL_CHECK(!weights_.empty()) << "server needs a model";
   FEDCL_CHECK(options_.server_momentum >= 0.0 &&
               options_.server_momentum < 1.0)
       << "server momentum " << options_.server_momentum;
+  FEDCL_CHECK_GE(options_.min_reporting, 1);
 }
 
 std::vector<std::size_t> Server::sample_clients(std::size_t total_clients,
@@ -21,32 +25,45 @@ std::vector<std::size_t> Server::sample_clients(std::size_t total_clients,
   return rng.sample_without_replacement(total_clients, clients_per_round);
 }
 
-void Server::aggregate(std::vector<ClientUpdate> updates,
-                       const core::PrivacyPolicy& policy,
-                       const dp::ParamGroups& groups, Rng& rng,
-                       const std::vector<double>* update_weights) {
-  FEDCL_CHECK(!updates.empty()) << "aggregate with no updates";
+ScreeningReport Server::aggregate(std::vector<ClientUpdate> updates,
+                                  const core::PrivacyPolicy& policy,
+                                  const dp::ParamGroups& groups, Rng& rng,
+                                  const std::vector<double>* update_weights) {
   if (update_weights != nullptr) {
     FEDCL_CHECK_EQ(update_weights->size(), updates.size());
   }
+
+  // Screen every received update; survivors carry their aggregation
+  // weight along.
+  std::vector<double> weights_buffer;
+  std::vector<double>* kept_weights = nullptr;
+  if (update_weights != nullptr) {
+    weights_buffer = *update_weights;
+    kept_weights = &weights_buffer;
+  }
+  ScreeningReport report;
+  std::vector<ClientUpdate> accepted =
+      screener_.screen(std::move(updates), tensor::list::shapes_of(weights_),
+                       round_, report, kept_weights);
+  if (report.accepted < options_.min_reporting) {
+    // Quorum missed: leave the model and round untouched; the caller
+    // records the skip.
+    return report;
+  }
+
   double total_weight = 0.0;
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    const double w =
-        update_weights != nullptr ? (*update_weights)[i] : 1.0;
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    const double w = kept_weights != nullptr ? (*kept_weights)[i] : 1.0;
     FEDCL_CHECK_GE(w, 0.0) << "negative aggregation weight";
     total_weight += w;
   }
   FEDCL_CHECK_GT(total_weight, 0.0) << "all aggregation weights zero";
 
   TensorList mean_delta = tensor::list::zeros_like(weights_);
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    ClientUpdate& u = updates[i];
-    FEDCL_CHECK_EQ(u.round, round_) << "stale update from client "
-                                    << u.client_id;
-    FEDCL_CHECK_EQ(u.delta.size(), weights_.size());
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    ClientUpdate& u = accepted[i];
     policy.sanitize_at_server(u.delta, groups, round_, rng);
-    const double w =
-        update_weights != nullptr ? (*update_weights)[i] : 1.0;
+    const double w = kept_weights != nullptr ? (*kept_weights)[i] : 1.0;
     tensor::list::add_(mean_delta, u.delta,
                        static_cast<float>(w / total_weight));
   }
@@ -61,6 +78,7 @@ void Server::aggregate(std::vector<ClientUpdate> updates,
     tensor::list::add_(weights_, mean_delta, 1.0f);
   }
   ++round_;
+  return report;
 }
 
 }  // namespace fedcl::fl

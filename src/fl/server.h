@@ -1,4 +1,5 @@
-// Federated server: client sampling and FedSGD aggregation.
+// Federated server: client sampling, update screening, and FedSGD
+// aggregation with graceful degradation.
 #pragma once
 
 #include <cstdint>
@@ -6,6 +7,7 @@
 
 #include "core/policy.h"
 #include "fl/protocol.h"
+#include "fl/update_screening.h"
 
 namespace fedcl {
 class Rng;
@@ -17,6 +19,12 @@ struct AggregationOptions {
   // Server-side momentum on the aggregated delta (0 = plain FedSGD;
   // the momentum-accelerated FL the paper cites as [32]).
   double server_momentum = 0.0;
+  // Validation applied to every received update before aggregation.
+  ScreeningConfig screening;
+  // Minimum number of accepted updates required to apply the round;
+  // below it aggregate() leaves the model untouched and the caller
+  // falls back to skip_round().
+  std::int64_t min_reporting = 1;
 };
 
 class Server {
@@ -26,6 +34,7 @@ class Server {
 
   const TensorList& weights() const { return weights_; }
   std::int64_t round() const { return round_; }
+  const AggregationOptions& options() const { return options_; }
 
   // Selects Kt distinct clients out of K for this round (the paper's
   // random per-round subset; q = Kt/K drives client-level accounting).
@@ -35,16 +44,22 @@ class Server {
 
   // FedSGD: W(t+1) = W(t) + (1/Kt) * sum_k delta_k, applying the
   // policy's server-side hook to each update first (the Fed-SDP
-  // noise-at-server variant). Updates must belong to the current round.
+  // noise-at-server variant). Every update is screened first (shape /
+  // finite / norm / round checks — see update_screening.h); a rejected
+  // update is dropped and counted in the returned report rather than
+  // aborting the round. When fewer than min_reporting updates survive,
+  // nothing is applied, the round does not advance, and the report
+  // shows the quorum miss — the caller decides (normally skip_round()).
   // When `weights` is non-null it holds one non-negative weight per
   // update (e.g. client data sizes) and the mean becomes weighted —
   // with equal weights this reduces to FedSGD, and since every delta
   // is relative to the same W(t) it is also exactly FedAveraging
   // (Section IV notes the two are mathematically equivalent).
-  void aggregate(std::vector<ClientUpdate> updates,
-                 const core::PrivacyPolicy& policy,
-                 const dp::ParamGroups& groups, Rng& rng,
-                 const std::vector<double>* update_weights = nullptr);
+  ScreeningReport aggregate(std::vector<ClientUpdate> updates,
+                            const core::PrivacyPolicy& policy,
+                            const dp::ParamGroups& groups, Rng& rng,
+                            const std::vector<double>* update_weights =
+                                nullptr);
 
   // Advances the round without an update (e.g. every sampled client
   // dropped out — the unstable-availability case of [2]).
@@ -53,6 +68,7 @@ class Server {
  private:
   TensorList weights_;
   AggregationOptions options_;
+  UpdateScreener screener_;
   TensorList velocity_;  // lazily sized when momentum is enabled
   std::int64_t round_ = 0;
 };

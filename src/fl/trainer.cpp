@@ -21,6 +21,7 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
   FEDCL_CHECK_GT(config.total_clients, 0);
   FEDCL_CHECK_GT(config.clients_per_round, 0);
   FEDCL_CHECK_LE(config.clients_per_round, config.total_clients);
+  FEDCL_CHECK_GE(config.min_reporting, 1);
   const std::int64_t rounds = config.effective_rounds();
   const std::int64_t local_iterations = config.effective_local_iterations();
   FEDCL_CHECK_GT(rounds, 0);
@@ -62,7 +63,10 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
   FEDCL_CHECK(config.client_dropout >= 0.0 && config.client_dropout < 1.0)
       << "client dropout " << config.client_dropout;
   Server server(model->weights(),
-                {.server_momentum = config.server_momentum});
+                {.server_momentum = config.server_momentum,
+                 .screening = config.screening,
+                 .min_reporting = config.min_reporting});
+  const FaultPlan plan(config.faults, config.seed);
 
   FlRunResult result;
   double total_ms = 0.0;
@@ -79,13 +83,33 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
     updates.reserve(chosen.size());
     RoundRecord record;
     record.round = t;
+    RoundFailureStats& stats = record.failures;
     double norm_sum = 0.0, ms_sum = 0.0;
-    std::size_t reporting = 0;
+    std::size_t trained = 0;
+    std::int64_t transient_failed = 0;
     Rng drop_rng = round_rng.fork("dropout", static_cast<std::uint64_t>(t));
-    for (std::size_t ci : chosen) {
+    Rng fault_rng = round_rng.fork("faults", static_cast<std::uint64_t>(t));
+
+    // Runs one client through local training and the secure transport
+    // path; every failure mode is a per-client event.
+    auto attempt_client = [&](std::size_t ci) {
       if (config.client_dropout > 0.0 &&
           drop_rng.bernoulli(config.client_dropout)) {
-        continue;  // this client never reports back
+        ++stats.dropouts;  // this client never reports back
+        ++transient_failed;
+        return;
+      }
+      const FaultType fault =
+          plan.fault_for(t, static_cast<std::int64_t>(ci));
+      if (fault == FaultType::kCrash) {
+        ++stats.injected_crash;  // dies before reporting
+        ++transient_failed;
+        return;
+      }
+      if (fault == FaultType::kStraggler) {
+        ++stats.injected_straggler;  // misses the round deadline
+        ++transient_failed;
+        return;
       }
       Rng crng = round_rng.fork("client", static_cast<std::uint64_t>(
                                               t * 1000003 +
@@ -97,29 +121,98 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
       }
       norm_sum += outcome.first_iteration_grad_norm;
       ms_sum += outcome.local_train_ms;
-      updates.push_back(std::move(outcome.update));
+      ++trained;
+
+      if (fault == FaultType::kCorruptDelta) {
+        corrupt_delta(outcome.update.delta, fault_rng);
+        ++stats.injected_corrupt;
+      } else if (fault == FaultType::kStaleRound) {
+        outcome.update.round = t - 1;  // replayed from the prior round
+        ++stats.injected_stale;
+      }
+
+      // Transport: serialize -> seal -> (hostile channel) -> open ->
+      // deserialize. A decode failure drops this client's update only.
+      SecureChannel channel(config.seed ^
+                            (0x5EC2E7ULL + static_cast<std::uint64_t>(ci) *
+                                               0x9E3779B97F4A7C15ULL));
+      std::vector<std::uint8_t> wire =
+          channel.seal(serialize_update(outcome.update));
+      if (fault == FaultType::kBitFlip) {
+        flip_random_bits(wire, fault_rng);
+        ++stats.injected_bit_flip;
+      }
+      Result<std::vector<std::uint8_t>> opened = channel.open(std::move(wire));
+      if (!opened.ok()) {
+        ++stats.rejected_decode;
+        return;
+      }
+      Result<ClientUpdate> decoded = deserialize_update(opened.value());
+      if (!decoded.ok()) {
+        ++stats.rejected_decode;
+        return;
+      }
+      updates.push_back(decoded.take());
       update_weights.push_back(
           static_cast<double>(clients[ci].data().size()));
-      ++reporting;
+    };
+
+    for (std::size_t ci : chosen) attempt_client(ci);
+
+    // One resample-retry pass: when delivery fell below the quorum and
+    // some failures were transient (crash/straggler/dropout), draw
+    // replacement clients from the unsampled pool.
+    if (config.retry_failed_clients && transient_failed > 0 &&
+        static_cast<std::int64_t>(updates.size()) < config.min_reporting) {
+      std::vector<bool> in_round(clients.size(), false);
+      for (std::size_t ci : chosen) in_round[ci] = true;
+      std::vector<std::size_t> pool;
+      for (std::size_t i = 0; i < clients.size(); ++i) {
+        if (!in_round[i]) pool.push_back(i);
+      }
+      Rng retry_rng = round_rng.fork("retry", static_cast<std::uint64_t>(t));
+      retry_rng.shuffle(pool);
+      const std::size_t replacements =
+          std::min(pool.size(), static_cast<std::size_t>(transient_failed));
+      for (std::size_t r = 0; r < replacements; ++r) {
+        ++stats.retried_clients;
+        attempt_client(pool[r]);
+      }
     }
-    if (updates.empty()) {
-      // Every sampled client dropped out: the round produces no
-      // aggregate (unstable-availability corner).
+
+    bool applied = false;
+    if (!updates.empty()) {
+      Rng agg_rng =
+          round_rng.fork("aggregate", static_cast<std::uint64_t>(t));
+      ScreeningReport report = server.aggregate(
+          std::move(updates), policy, groups, agg_rng,
+          config.weight_by_data_size ? &update_weights : nullptr);
+      stats.rejected_shape += report.rejected_shape;
+      stats.rejected_non_finite += report.rejected_non_finite;
+      stats.rejected_norm_outlier += report.rejected_norm_outlier;
+      stats.rejected_stale += report.rejected_stale;
+      applied = report.accepted >= config.min_reporting;
+    }
+
+    if (trained > 0) {
+      record.mean_grad_norm = norm_sum / static_cast<double>(trained);
+      record.mean_client_ms = ms_sum / static_cast<double>(trained);
+      total_ms += ms_sum;
+      total_local_iters +=
+          static_cast<std::int64_t>(trained) * local_iterations;
+    }
+
+    if (!applied) {
+      // Graceful degradation: the round produces no aggregate — either
+      // nobody reported or screening left the quorum unmet.
       server.skip_round();
       ++result.dropped_rounds;
+      ++stats.quorum_missed;
       record.accuracy = std::nan("");
+      result.total_failures.accumulate(stats);
       result.history.push_back(record);
       continue;
     }
-    Rng agg_rng = round_rng.fork("aggregate", static_cast<std::uint64_t>(t));
-    server.aggregate(std::move(updates), policy, groups, agg_rng,
-                     config.weight_by_data_size ? &update_weights : nullptr);
-
-    record.mean_grad_norm = norm_sum / static_cast<double>(reporting);
-    record.mean_client_ms = ms_sum / static_cast<double>(reporting);
-    total_ms += ms_sum;
-    total_local_iters +=
-        static_cast<std::int64_t>(reporting) * local_iterations;
 
     const bool eval_now =
         (config.eval_every > 0 && (t + 1) % config.eval_every == 0) ||
@@ -134,6 +227,7 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
     } else {
       record.accuracy = std::nan("");
     }
+    result.total_failures.accumulate(stats);
     result.history.push_back(record);
   }
 
@@ -149,6 +243,7 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
       total_local_iters > 0
           ? total_ms / static_cast<double>(total_local_iters)
           : 0.0;
+  result.completed_rounds = rounds - result.dropped_rounds;
   result.final_weights = tensor::list::clone(server.weights());
   result.privacy_setup = {
       .total_examples = train->size(),

@@ -3,6 +3,13 @@
 // under a privacy policy, and records the metrics the paper's tables
 // report (validation accuracy, ms per local iteration, gradient-norm
 // series, privacy-accounting inputs).
+//
+// The round engine is fault-tolerant: every update travels through the
+// serialize/seal/open/deserialize transport path, injected faults
+// (fault_injection.h) and natural dropout are survived per client, the
+// server screens updates before aggregation (update_screening.h), and a
+// min_reporting quorum with one resample-retry pass governs when a
+// round is applied versus skipped.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +18,8 @@
 #include "core/accounting.h"
 #include "core/policy.h"
 #include "data/benchmarks.h"
+#include "fl/fault_injection.h"
+#include "fl/update_screening.h"
 
 namespace fedcl::fl {
 
@@ -40,6 +49,19 @@ struct FlExperimentConfig {
   bool weight_by_data_size = false;
   // Server-side momentum on the aggregated delta (0 = plain FedSGD).
   double server_momentum = 0.0;
+  // Injected faults (crash/straggler/corrupt/bit-flip/stale); the plan
+  // is seeded from `seed` so runs stay reproducible.
+  FaultInjectionConfig faults;
+  // Server-side screening of received updates before aggregation.
+  ScreeningConfig screening;
+  // Minimum accepted updates for a round to be applied; below it the
+  // round is skipped (weights untouched, counted in dropped_rounds and
+  // quorum_missed).
+  std::int64_t min_reporting = 1;
+  // When delivered updates fall below min_reporting, sample replacement
+  // clients (one retry pass) for the transiently failed ones before
+  // giving up on the round.
+  bool retry_failed_clients = true;
 
   std::int64_t effective_rounds() const {
     return rounds > 0 ? rounds : bench.rounds;
@@ -54,6 +76,8 @@ struct RoundRecord {
   double accuracy = 0.0;          // NaN when not evaluated this round
   double mean_grad_norm = 0.0;    // mean first-iteration batch-grad L2
   double mean_client_ms = 0.0;    // mean local-training wall time
+  // Injection/rejection/recovery accounting for this round.
+  RoundFailureStats failures;
 };
 
 struct FlRunResult {
@@ -64,8 +88,13 @@ struct FlRunResult {
   std::vector<RoundRecord> history;
   // Inputs for core::account_privacy on this run.
   core::FlPrivacySetup privacy_setup;
-  // Rounds where every sampled client dropped out (skipped rounds).
+  // Rounds where no aggregate was applied (all clients failed, or the
+  // min_reporting quorum was missed).
   std::int64_t dropped_rounds = 0;
+  // Rounds where an aggregate was applied (= rounds - dropped_rounds).
+  std::int64_t completed_rounds = 0;
+  // Sum of the per-round failure stats.
+  RoundFailureStats total_failures;
   // The trained global model parameters (deep copy) — load into a
   // model built from the same ModelSpec via Sequential::set_weights.
   core::TensorList final_weights;

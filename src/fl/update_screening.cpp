@@ -1,0 +1,142 @@
+#include "fl/update_screening.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "common/error.h"
+
+namespace fedcl::fl {
+
+namespace {
+
+bool shapes_match(const ClientUpdate& u,
+                  const std::vector<tensor::Shape>& expected) {
+  if (u.delta.size() != expected.size()) return false;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (!u.delta[i].defined() || u.delta[i].shape() != expected[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool all_finite(const TensorList& delta) {
+  for (const auto& t : delta) {
+    const float* p = t.data();
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      if (!std::isfinite(p[i])) return false;
+    }
+  }
+  return true;
+}
+
+double median(std::vector<double> v) {
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  return v[mid];
+}
+
+}  // namespace
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kShapeMismatch:
+      return "shape-mismatch";
+    case RejectReason::kNonFinite:
+      return "non-finite";
+    case RejectReason::kNormOutlier:
+      return "norm-outlier";
+    case RejectReason::kStaleRound:
+      return "stale-round";
+  }
+  return "unknown";
+}
+
+void ScreeningReport::count(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kShapeMismatch:
+      ++rejected_shape;
+      return;
+    case RejectReason::kNonFinite:
+      ++rejected_non_finite;
+      return;
+    case RejectReason::kNormOutlier:
+      ++rejected_norm_outlier;
+      return;
+    case RejectReason::kStaleRound:
+      ++rejected_stale;
+      return;
+  }
+}
+
+UpdateScreener::UpdateScreener(ScreeningConfig config) : config_(config) {
+  FEDCL_CHECK_GE(config_.norm_outlier_factor, 0.0);
+  FEDCL_CHECK_GE(config_.max_update_norm, 0.0);
+}
+
+std::vector<ClientUpdate> UpdateScreener::screen(
+    std::vector<ClientUpdate> updates,
+    const std::vector<tensor::Shape>& expected, std::int64_t current_round,
+    ScreeningReport& report, std::vector<double>* weights) const {
+  if (weights != nullptr) {
+    FEDCL_CHECK_EQ(weights->size(), updates.size());
+  }
+
+  // Pass 1: per-update checks, cheapest first. An update that fails any
+  // of them is counted against its first failing reason only.
+  std::vector<std::optional<RejectReason>> verdict(updates.size());
+  std::vector<double> norms(updates.size(), 0.0);
+  std::vector<double> valid_norms;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const ClientUpdate& u = updates[i];
+    if (u.round != current_round) {
+      verdict[i] = RejectReason::kStaleRound;
+    } else if (!shapes_match(u, expected)) {
+      verdict[i] = RejectReason::kShapeMismatch;
+    } else if (!all_finite(u.delta)) {
+      verdict[i] = RejectReason::kNonFinite;
+    } else {
+      norms[i] = tensor::list::l2_norm(u.delta);
+      if (config_.max_update_norm > 0.0 &&
+          norms[i] > config_.max_update_norm) {
+        verdict[i] = RejectReason::kNormOutlier;
+      } else {
+        valid_norms.push_back(norms[i]);
+      }
+    }
+  }
+
+  // Pass 2: relative norm-outlier rejection against the round median of
+  // the surviving updates (robust to the outliers themselves).
+  if (config_.norm_outlier_factor > 0.0 && valid_norms.size() >= 3) {
+    const double med = median(valid_norms);
+    if (med > 0.0) {
+      const double cutoff = config_.norm_outlier_factor * med;
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        if (!verdict[i].has_value() && norms[i] > cutoff) {
+          verdict[i] = RejectReason::kNormOutlier;
+        }
+      }
+    }
+  }
+
+  std::vector<ClientUpdate> accepted;
+  accepted.reserve(updates.size());
+  std::size_t kept_weights = 0;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (verdict[i].has_value()) {
+      report.count(*verdict[i]);
+      continue;
+    }
+    accepted.push_back(std::move(updates[i]));
+    if (weights != nullptr) (*weights)[kept_weights] = (*weights)[i];
+    ++kept_weights;
+  }
+  if (weights != nullptr) weights->resize(kept_weights);
+  report.accepted += static_cast<std::int64_t>(accepted.size());
+  return accepted;
+}
+
+}  // namespace fedcl::fl

@@ -1,0 +1,78 @@
+// Server-side validation of client updates before aggregation.
+//
+// Updates arrive from unreliable clients over a hostile channel, so the
+// server screens every one — structural check against the global weight
+// shapes, finite-value check, L2-norm outlier rejection, stale-round
+// rejection — and aggregates only the survivors, in the spirit of the
+// adversarial-update screening that "Securing Distributed SGD against
+// Gradient Leakage Threats" (Wei et al., 2023) layers on top of
+// Fed-CDP-style sanitization. A rejected update is a per-client event
+// counted per reason, never a process-wide abort.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/protocol.h"
+#include "tensor/shape.h"
+
+namespace fedcl::fl {
+
+enum class RejectReason {
+  kShapeMismatch,  // wrong tensor count, rank, or dims
+  kNonFinite,      // NaN/Inf anywhere in the delta
+  kNormOutlier,    // L2 norm out of band
+  kStaleRound,     // update.round != current round
+};
+
+const char* reject_reason_name(RejectReason reason);
+
+struct ScreeningConfig {
+  // Reject updates whose L2 norm exceeds `norm_outlier_factor` times
+  // the median norm of the round's structurally valid updates
+  // (0 disables). Needs >= 3 candidates to be meaningful; below that
+  // the relative check is skipped.
+  double norm_outlier_factor = 0.0;
+  // Absolute cap on the update L2 norm (0 disables).
+  double max_update_norm = 0.0;
+  // Structural / finite / stale checks are always on: an update that
+  // fails them cannot be aggregated at all.
+};
+
+// Per-reason rejection counts for one screening pass.
+struct ScreeningReport {
+  std::int64_t accepted = 0;
+  std::int64_t rejected_shape = 0;
+  std::int64_t rejected_non_finite = 0;
+  std::int64_t rejected_norm_outlier = 0;
+  std::int64_t rejected_stale = 0;
+
+  std::int64_t rejected_total() const {
+    return rejected_shape + rejected_non_finite + rejected_norm_outlier +
+           rejected_stale;
+  }
+  void count(RejectReason reason);
+};
+
+class UpdateScreener {
+ public:
+  explicit UpdateScreener(ScreeningConfig config = {});
+
+  // Validates `updates` against the expected parameter shapes and the
+  // current round, returning the accepted subset (order preserved).
+  // When `weights` is non-null it holds one aggregation weight per
+  // update and is filtered in lockstep.
+  std::vector<ClientUpdate> screen(std::vector<ClientUpdate> updates,
+                                   const std::vector<tensor::Shape>& expected,
+                                   std::int64_t current_round,
+                                   ScreeningReport& report,
+                                   std::vector<double>* weights = nullptr)
+      const;
+
+  const ScreeningConfig& config() const { return config_; }
+
+ private:
+  ScreeningConfig config_;
+};
+
+}  // namespace fedcl::fl

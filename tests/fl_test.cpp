@@ -31,7 +31,9 @@ TEST(Protocol, SerializeRoundTrip) {
   u.round = 7;
   Rng rng(1);
   u.delta = {Tensor::randn({3, 4}, rng), Tensor::randn({5}, rng)};
-  ClientUpdate back = deserialize_update(serialize_update(u));
+  Result<ClientUpdate> result = deserialize_update(serialize_update(u));
+  ASSERT_TRUE(result.ok());
+  ClientUpdate back = result.take();
   EXPECT_EQ(back.client_id, 42);
   EXPECT_EQ(back.round, 7);
   ASSERT_EQ(back.delta.size(), 2u);
@@ -40,12 +42,14 @@ TEST(Protocol, SerializeRoundTrip) {
 
 TEST(Protocol, DeserializeRejectsGarbage) {
   std::vector<std::uint8_t> junk(10, 0xAB);
-  EXPECT_THROW(deserialize_update(junk), Error);
+  EXPECT_FALSE(deserialize_update(junk).ok());
   ClientUpdate u;
   u.delta = {Tensor::ones({4})};
   auto bytes = serialize_update(u);
   bytes.pop_back();
-  EXPECT_THROW(deserialize_update(bytes), Error);
+  Result<ClientUpdate> truncated = deserialize_update(bytes);
+  EXPECT_FALSE(truncated.ok());
+  EXPECT_FALSE(truncated.error().empty());
 }
 
 TEST(SecureChannel, SealOpenRoundTrip) {
@@ -53,20 +57,22 @@ TEST(SecureChannel, SealOpenRoundTrip) {
   std::vector<std::uint8_t> msg = {1, 2, 3, 4, 5, 200, 0, 9};
   auto sealed = channel.seal(msg);
   EXPECT_NE(sealed, msg);  // actually transformed
-  EXPECT_EQ(channel.open(sealed), msg);
+  auto opened = channel.open(sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), msg);
 }
 
 TEST(SecureChannel, DetectsTampering) {
   SecureChannel channel(0x1234);
   auto sealed = channel.seal({9, 9, 9, 9});
   sealed[1] ^= 0x01;
-  EXPECT_THROW(channel.open(sealed), Error);
+  EXPECT_FALSE(channel.open(sealed).ok());
 }
 
 TEST(SecureChannel, WrongKeyFails) {
   SecureChannel alice(1), eve(2);
   auto sealed = alice.seal({1, 2, 3});
-  EXPECT_THROW(eve.open(sealed), Error);
+  EXPECT_FALSE(eve.open(sealed).ok());
 }
 
 TEST(SecureChannel, EndToEndWithUpdates) {
@@ -76,7 +82,9 @@ TEST(SecureChannel, EndToEndWithUpdates) {
   u.delta = {Tensor::full({6}, 1.5f)};
   SecureChannel channel(77);
   ClientUpdate received =
-      deserialize_update(channel.open(channel.seal(serialize_update(u))));
+      deserialize_update(
+          channel.open(channel.seal(serialize_update(u))).take())
+          .take();
   EXPECT_TRUE(tensor::list::allclose(received.delta, u.delta));
 }
 
@@ -259,14 +267,20 @@ TEST(Server, FedSgdAggregation) {
   EXPECT_EQ(server.round(), 1);
 }
 
-TEST(Server, RejectsStaleUpdates) {
+TEST(Server, ScreensOutStaleUpdates) {
+  // A wrong-round update is screened out per client, not a round abort:
+  // the model stays untouched and the miss is reported.
   Server server({Tensor::zeros({1})});
   core::NonPrivatePolicy policy;
   Rng rng(11);
   std::vector<ClientUpdate> updates(1);
   updates[0] = {0, /*round=*/5, {Tensor::ones({1})}};
-  EXPECT_THROW(server.aggregate(std::move(updates), policy, {{0}}, rng),
-               Error);
+  ScreeningReport report =
+      server.aggregate(std::move(updates), policy, {{0}}, rng);
+  EXPECT_EQ(report.accepted, 0);
+  EXPECT_EQ(report.rejected_stale, 1);
+  EXPECT_FLOAT_EQ(server.weights()[0].at(0), 0.0f);
+  EXPECT_EQ(server.round(), 0);  // quorum missed: round not advanced
 }
 
 TEST(Server, ServerSideNoiseHookRuns) {

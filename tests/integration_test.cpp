@@ -87,7 +87,11 @@ TEST(Integration, UpdateTravelsThroughSecureChannelToServer) {
     fl::ClientRoundOutcome outcome =
         client.run_round(*model, server.weights(), policy, 0, crng);
     auto wire = channel.seal(fl::serialize_update(outcome.update));
-    received.push_back(fl::deserialize_update(channel.open(wire)));
+    auto opened = channel.open(wire);
+    ASSERT_TRUE(opened.ok()) << opened.error();
+    auto decoded = fl::deserialize_update(opened.value());
+    ASSERT_TRUE(decoded.ok()) << decoded.error();
+    received.push_back(decoded.take());
   }
   tensor::list::TensorList before =
       tensor::list::clone(server.weights());

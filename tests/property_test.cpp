@@ -43,8 +43,11 @@ TEST_P(ProtocolRoundTrip, RandomUpdateSurvivesSerializeAndSeal) {
     u.delta.push_back(Tensor::randn(shape, rng));
   }
   fl::SecureChannel channel(GetParam() * 977 + 13);
-  fl::ClientUpdate back = fl::deserialize_update(
-      channel.open(channel.seal(fl::serialize_update(u))));
+  auto opened = channel.open(channel.seal(fl::serialize_update(u)));
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  auto decoded = fl::deserialize_update(opened.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  fl::ClientUpdate back = decoded.take();
   EXPECT_EQ(back.client_id, u.client_id);
   EXPECT_EQ(back.round, u.round);
   EXPECT_TRUE(tensor::list::allclose(back.delta, u.delta, 0.0f, 0.0f));
