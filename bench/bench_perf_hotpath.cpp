@@ -1,0 +1,323 @@
+// Perf bench for the per-example gradient hot path: times one client's
+// local round (B examples, L local iterations) under each policy, with
+// the per-example engine in sliced mode (B independent autograd
+// graphs, the pre-engine baseline) vs batched mode (one forward +
+// one backward, per-example weight gradients via the outer-product
+// trick — see DESIGN.md "Performance architecture").
+//
+// Non-private and Fed-SDP never take the per-example path, so their
+// rows are mode-insensitive context; the headline numbers are the
+// Fed-CDP round speedup (batched vs sliced) and the engine-only
+// per-example-gradient speedup measured below the round table.
+//
+// Reading the numbers: the engine's win is avoided work per example —
+// graph construction, node/Var allocation, and per-example tensor
+// traffic — plus kernel-level threading. On a single core the MLP
+// engine-only speedup is large (the sliced path is overhead-bound)
+// while the CNN ratio is modest (both paths bottleneck on the same
+// conv matmul kernels, and DP noise generation is a shared floor);
+// with more cores both rise, since the batched path threads its
+// matmuls and the trainer runs clients in parallel.
+//
+// Emits a machine-readable JSON document after the table and writes
+// the same document to BENCH_perf_hotpath.json for CI artifacts.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "core/policy.h"
+#include "data/dataset.h"
+#include "fl/client.h"
+#include "nn/model_zoo.h"
+#include "nn/per_example.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace fedcl;
+
+struct BenchDims {
+  std::int64_t batch_size = 32;
+  std::int64_t local_iterations = 2;
+  int warmup_rounds = 1;
+  int timed_rounds = 5;
+};
+
+BenchDims scaled_dims() {
+  BenchDims d;
+  switch (bench_scale()) {
+    case BenchScale::kSmoke:
+      d.local_iterations = 1;
+      d.timed_rounds = 2;
+      break;
+    case BenchScale::kSmall:
+      break;
+    case BenchScale::kPaper:
+      d.local_iterations = 4;
+      d.timed_rounds = 10;
+      break;
+  }
+  return d;
+}
+
+struct ModelCase {
+  std::string name;
+  nn::ModelSpec spec;
+  std::int64_t dataset_size;
+};
+
+data::ClientData synthetic_client(const nn::ModelSpec& spec,
+                                  std::int64_t n, Rng& rng) {
+  tensor::Shape shape;
+  if (spec.kind == nn::ModelSpec::Kind::kImageCnn) {
+    shape = {n, spec.height, spec.width, spec.channels};
+  } else {
+    shape = {n, spec.in_features};
+  }
+  tensor::Tensor features = tensor::Tensor::randn(shape, rng);
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(n));
+  for (auto& l : labels)
+    l = static_cast<std::int64_t>(rng.uniform_int(
+        static_cast<std::uint64_t>(spec.classes)));
+  auto base = std::make_shared<const data::Dataset>(std::move(features),
+                                                    std::move(labels),
+                                                    spec.classes);
+  std::vector<std::int64_t> indices(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    indices[static_cast<std::size_t>(i)] = i;
+  return data::ClientData(base, std::move(indices));
+}
+
+// Mean wall-clock ms of one local round. Both modes replay the same
+// RNG streams (fresh forks per repeat), so they sample the same
+// batches and draw the same noise — identical arithmetic, different
+// engine.
+double time_rounds(const fl::Client& client, nn::Sequential& model,
+                   const tensor::list::TensorList& global_weights,
+                   const core::PrivacyPolicy& policy, const BenchDims& dims,
+                   const Rng& stream_root) {
+  using Clock = std::chrono::steady_clock;
+  for (int r = 0; r < dims.warmup_rounds; ++r) {
+    Rng rng = stream_root.fork("warmup", static_cast<std::uint64_t>(r));
+    client.run_round(model, global_weights, policy, /*round=*/0, rng);
+  }
+  double total_ms = 0.0;
+  for (int r = 0; r < dims.timed_rounds; ++r) {
+    Rng rng = stream_root.fork("timed", static_cast<std::uint64_t>(r));
+    const auto start = Clock::now();
+    client.run_round(model, global_weights, policy, /*round=*/0, rng);
+    total_ms +=
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+  }
+  return total_ms / dims.timed_rounds;
+}
+
+struct Row {
+  std::string model;
+  std::string policy;
+  bool per_example = false;
+  double sliced_ms = 0.0;
+  double batched_ms = 0.0;
+  double speedup() const { return batched_ms > 0.0 ? sliced_ms / batched_ms : 0.0; }
+};
+
+// Engine-only timing: per-example gradients for one batch, no DP, no
+// SGD step — isolates what the batched engine replaces.
+struct EngineRow {
+  std::string model;
+  double sliced_ms = 0.0;
+  double batched_ms = 0.0;
+  double speedup() const { return batched_ms > 0.0 ? sliced_ms / batched_ms : 0.0; }
+};
+
+EngineRow time_engine(const std::string& name, nn::Sequential& model,
+                      const tensor::Tensor& x,
+                      const std::vector<std::int64_t>& labels, int reps) {
+  using Clock = std::chrono::steady_clock;
+  EngineRow row;
+  row.model = name;
+  (void)nn::compute_per_example_gradients_sliced(model, x, labels);
+  auto start = Clock::now();
+  for (int r = 0; r < reps; ++r)
+    (void)nn::compute_per_example_gradients_sliced(model, x, labels);
+  row.sliced_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count() /
+      reps;
+  (void)nn::compute_per_example_gradients(model, x, labels);
+  start = Clock::now();
+  for (int r = 0; r < reps; ++r)
+    (void)nn::compute_per_example_gradients(model, x, labels);
+  row.batched_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count() /
+      reps;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_preamble(
+      "bench_perf_hotpath",
+      "perf: batched per-example gradient engine vs sliced baseline");
+
+  const BenchDims dims = scaled_dims();
+  Rng root(experiment_seed());
+
+  std::vector<ModelCase> cases;
+  {
+    nn::ModelSpec mlp;
+    mlp.kind = nn::ModelSpec::Kind::kMlp;
+    mlp.in_features = 64;
+    mlp.classes = 10;
+    cases.push_back({"MLP", mlp, 256});
+
+    nn::ModelSpec cnn;
+    cnn.kind = nn::ModelSpec::Kind::kImageCnn;
+    cnn.height = 16;
+    cnn.width = 16;
+    cnn.channels = 1;
+    cnn.classes = 10;
+    cases.push_back({"CNN-16x16", cnn, 128});
+  }
+
+  bench::PolicySet policies = bench::make_policy_set(/*total_rounds=*/10);
+  const std::vector<std::pair<std::string, const core::PrivacyPolicy*>>
+      contenders = {{"non-private", policies.non_private.get()},
+                    {"Fed-SDP", policies.fed_sdp.get()},
+                    {"Fed-CDP", policies.fed_cdp.get()},
+                    {"Fed-CDP(decay)", policies.fed_cdp_decay.get()}};
+
+  std::printf(
+      "local round: B=%lld, L=%lld, %d timed rounds (+%d warmup), "
+      "compute pool: %zu threads\n\n",
+      static_cast<long long>(dims.batch_size),
+      static_cast<long long>(dims.local_iterations), dims.timed_rounds,
+      dims.warmup_rounds, compute_pool().size());
+
+  fl::LocalTrainConfig train;
+  train.batch_size = dims.batch_size;
+  train.local_iterations = dims.local_iterations;
+  train.learning_rate = 0.05;
+
+  std::vector<Row> rows;
+  std::vector<EngineRow> engine_rows;
+  AsciiTable table("ms per local round: sliced vs batched per-example engine");
+  table.set_header({"model", "policy", "per-example", "sliced ms",
+                    "batched ms", "speedup"});
+  for (const ModelCase& mc : cases) {
+    Rng data_rng = root.fork("data", static_cast<std::uint64_t>(rows.size()));
+    Rng model_rng = root.fork("model", static_cast<std::uint64_t>(rows.size()));
+    fl::Client client(/*id=*/0, synthetic_client(mc.spec, mc.dataset_size,
+                                                 data_rng),
+                      train);
+    std::shared_ptr<nn::Sequential> model =
+        nn::build_model(mc.spec, model_rng);
+    const tensor::list::TensorList global_weights = model->weights();
+
+    for (std::size_t p = 0; p < contenders.size(); ++p) {
+      const auto& [name, policy] = contenders[p];
+      const Rng stream_root =
+          root.fork("round", static_cast<std::uint64_t>(rows.size() * 16 + p));
+      Row row;
+      row.model = mc.name;
+      row.policy = name;
+      row.per_example = policy->needs_per_example_gradients();
+      nn::set_per_example_mode(nn::PerExampleMode::kSliced);
+      row.sliced_ms = time_rounds(client, *model, global_weights, *policy,
+                                  dims, stream_root);
+      nn::set_per_example_mode(nn::PerExampleMode::kBatched);
+      row.batched_ms = time_rounds(client, *model, global_weights, *policy,
+                                   dims, stream_root);
+      nn::set_per_example_mode(nn::PerExampleMode::kAuto);
+      table.add_row({row.model, row.policy, bench::yes_no(row.per_example),
+                     AsciiTable::fmt(row.sliced_ms, 2),
+                     AsciiTable::fmt(row.batched_ms, 2),
+                     AsciiTable::fmt(row.speedup(), 2) + "x"});
+      rows.push_back(row);
+    }
+
+    // Engine-only: one batch of per-example gradients, no DP/SGD.
+    Rng batch_rng = root.fork("engine-batch",
+                              static_cast<std::uint64_t>(engine_rows.size()));
+    data::ClientData engine_data =
+        synthetic_client(mc.spec, dims.batch_size, batch_rng);
+    data::Batch batch = engine_data.sample_batch(batch_rng, dims.batch_size);
+    engine_rows.push_back(
+        time_engine(mc.name, *model, batch.x, batch.labels,
+                    std::max(2, 2 * dims.timed_rounds)));
+  }
+  table.print();
+
+  AsciiTable engine_table(
+      "ms per batch of per-example gradients (engine only, no DP/SGD)");
+  engine_table.set_header(
+      {"model", "sliced ms", "batched ms", "speedup"});
+  for (const EngineRow& r : engine_rows) {
+    engine_table.add_row({r.model, AsciiTable::fmt(r.sliced_ms, 3),
+                          AsciiTable::fmt(r.batched_ms, 3),
+                          AsciiTable::fmt(r.speedup(), 2) + "x"});
+  }
+  std::printf("\n");
+  engine_table.print();
+
+  std::printf(
+      "\nReading the numbers: the round rows time the full local round "
+      "(data gather, forward/backward, DP clip+noise, SGD step); the "
+      "engine rows isolate the per-example gradient computation the "
+      "batched engine replaces. Non-private and Fed-SDP never take the "
+      "per-example path, so their round rows hover around 1x. Fed-CDP "
+      "round time also pays for B x params Gaussian draws per iteration "
+      "(identical in both modes by design — the noise stream is "
+      "bit-for-bit shared), which bounds the round-level ratio on models "
+      "where noise dominates. Speedups grow with cores: the batched "
+      "engine threads its matmuls and the trainer rounds run clients in "
+      "parallel, while the sliced baseline's B-graph loop is inherently "
+      "serial per example.\n");
+
+  // Machine-readable record, printed and saved for CI artifacts.
+  std::string json;
+  json += "{\n  \"bench\": \"bench_perf_hotpath\",\n";
+  json += "  \"batch_size\": " + std::to_string(dims.batch_size) + ",\n";
+  json += "  \"local_iterations\": " +
+          std::to_string(dims.local_iterations) + ",\n";
+  json += "  \"timed_rounds\": " + std::to_string(dims.timed_rounds) + ",\n";
+  json += "  \"threads\": " + std::to_string(compute_pool().size()) + ",\n";
+  json += "  \"results\": [\n";
+  char buf[256];
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"model\": \"%s\", \"policy\": \"%s\", "
+                  "\"per_example\": %s, \"sliced_ms\": %.3f, "
+                  "\"batched_ms\": %.3f, \"speedup\": %.2f}%s\n",
+                  r.model.c_str(), r.policy.c_str(),
+                  r.per_example ? "true" : "false", r.sliced_ms,
+                  r.batched_ms, r.speedup(), i + 1 < rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n  \"engine_only\": [\n";
+  for (std::size_t i = 0; i < engine_rows.size(); ++i) {
+    const EngineRow& r = engine_rows[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"model\": \"%s\", \"sliced_ms\": %.3f, "
+                  "\"batched_ms\": %.3f, \"speedup\": %.2f}%s\n",
+                  r.model.c_str(), r.sliced_ms, r.batched_ms, r.speedup(),
+                  i + 1 < engine_rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  std::printf("\nbench_json = %s", json.c_str());
+  if (std::FILE* f = std::fopen("BENCH_perf_hotpath.json", "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_perf_hotpath.json\n");
+  }
+  return 0;
+}

@@ -66,9 +66,19 @@ double Rng::normal() {
   while (u1 <= 1e-300) u1 = uniform();
   double r = std::sqrt(-2.0 * std::log(u1));
   double theta = 2.0 * M_PI * u2;
-  cached_normal_ = r * std::sin(theta);
+  double sin_theta, cos_theta;
+#if defined(__GLIBC__)
+  // glibc computes both in one call with results identical to separate
+  // sin/cos, shaving a table lookup off every other draw — noise
+  // generation is the floor of every Fed-CDP iteration.
+  ::sincos(theta, &sin_theta, &cos_theta);
+#else
+  sin_theta = std::sin(theta);
+  cos_theta = std::cos(theta);
+#endif
+  cached_normal_ = r * sin_theta;
   has_cached_normal_ = true;
-  return r * std::cos(theta);
+  return r * cos_theta;
 }
 
 double Rng::normal(double mean, double stddev) {

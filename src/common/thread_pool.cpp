@@ -2,9 +2,19 @@
 
 #include <algorithm>
 
+#include "common/env.h"
 #include "common/error.h"
 
 namespace fedcl {
+
+namespace {
+
+// Worker threads mark the pool they belong to so parallel_for can
+// detect nested calls and run inline instead of deadlocking on a full
+// queue.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
@@ -25,6 +35,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::on_worker_thread() const { return t_current_pool == this; }
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
@@ -39,15 +51,63 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  if (n == 0) return;
+  if (n == 1 || size() == 1 || on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
   }
-  for (auto& f : futures) f.get();  // rethrows task exceptions
+
+  // Shared completion state instead of per-task futures: the caller
+  // must not return (and release `fn` and the captures inside it)
+  // until *every* task has finished, even when several throw
+  // concurrently. The first exception to complete is kept under the
+  // mutex and rethrown after the barrier; later ones are discarded
+  // deliberately rather than racing on a single slot.
+  struct State {
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr first;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining = n;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([state, &fn, i] {
+      std::exception_ptr err;
+      try {
+        fn(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state->m);
+      if (err && !state->first) state->first = err;
+      if (--state->remaining == 0) state->done.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state->m);
+  state->done.wait(lock, [&] { return state->remaining == 0; });
+  if (state->first) std::rethrow_exception(state->first);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t max_chunks = std::max<std::size_t>(1, size());
+  const std::size_t chunk =
+      std::max(grain, (n + max_chunks - 1) / max_chunks);
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    fn(begin, std::min(n, begin + chunk));
+  });
 }
 
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -59,6 +119,13 @@ void ThreadPool::worker_loop() {
     }
     task();
   }
+}
+
+ThreadPool& compute_pool() {
+  static ThreadPool pool(
+      static_cast<std::size_t>(std::max<std::int64_t>(
+          0, env_int("FEDCL_THREADS", 0))));
+  return pool;
 }
 
 }  // namespace fedcl

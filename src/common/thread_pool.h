@@ -1,6 +1,15 @@
-// Fixed-size thread pool used to run per-client local training in
-// parallel within a federated round. Clients are independent, so the
-// pool needs no work stealing — a single shared queue suffices.
+// Fixed-size thread pool shared by the compute hot paths: the blocked
+// matmul kernel parallelizes row blocks across it and the federated
+// trainer runs per-client local training on it. Clients and row blocks
+// are independent, so the pool needs no work stealing — a single
+// shared queue suffices.
+//
+// Nesting contract: parallel_for called from a worker thread of the
+// same pool runs its iterations inline on that thread instead of
+// enqueuing. This makes nested parallelism (a parallel client whose
+// matmuls would also parallelize) deadlock-free, and it keeps results
+// independent of nesting depth because every iteration still executes
+// exactly once in index order within its executor.
 #pragma once
 
 #include <condition_variable>
@@ -25,21 +34,42 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  // True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
   // Enqueues a task and returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
 
-  // Runs fn(i) for i in [0, n) across the pool and waits for all.
-  // Exceptions from tasks propagate out of parallel_for (first one).
+  // Runs fn(i) for i in [0, n) across the pool and waits for all of
+  // them to finish — including when some throw. If one or more tasks
+  // throw, the first exception (in task-completion order) is rethrown
+  // after every task has completed, so captured references stay valid
+  // for the full run and no exception is silently dropped. Called from
+  // a worker thread of this pool, the loop runs inline (see header
+  // comment).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Splits [0, n) into contiguous chunks of at least `grain` indices
+  // and runs fn(begin, end) per chunk via parallel_for. Chunking is a
+  // pure function of (n, grain, size()), never of scheduling, so any
+  // work partitioned this way is reproducible across runs.
+  void parallel_for_chunks(
+      std::size_t n, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+// Process-wide pool for compute parallelism (matmul tiles, parallel
+// clients). Sized by FEDCL_THREADS (0 or unset: hardware concurrency).
+// Created on first use; safe to call from any thread.
+ThreadPool& compute_pool();
 
 }  // namespace fedcl

@@ -1,5 +1,7 @@
 #include "core/policy.h"
 
+#include <cmath>
+
 #include "common/error.h"
 #include "common/rng.h"
 
@@ -7,6 +9,18 @@ namespace fedcl::core {
 
 void PrivacyPolicy::sanitize_per_example(TensorList&, const ParamGroups&,
                                          std::int64_t, Rng&) const {}
+
+void PrivacyPolicy::sanitize_per_example_batch(
+    tensor::list::PerExampleGrads& grads, const ParamGroups& groups,
+    std::int64_t round, Rng& rng) const {
+  // Generic fallback: round-trip each example through the per-example
+  // hook. Subclasses with a hot batched path override this.
+  for (std::int64_t j = 0; j < grads.batch; ++j) {
+    TensorList grad = grads.example(j);
+    sanitize_per_example(grad, groups, round, rng);
+    grads.set_example(j, grad);
+  }
+}
 
 void PrivacyPolicy::sanitize_client_update(TensorList&, const ParamGroups&,
                                            std::int64_t, Rng&) const {}
@@ -112,6 +126,20 @@ void FedCdpPolicy::sanitize_per_example(TensorList& grad,
   mechanism.sanitize(grad, rng);
 }
 
+void FedCdpPolicy::sanitize_per_example_batch(
+    tensor::list::PerExampleGrads& grads, const ParamGroups& groups,
+    std::int64_t round, Rng& rng) const {
+  // Batched Algorithm 2 lines 9-14: one pass clips every example's
+  // per-layer slice in place, then noise is drawn example-major — the
+  // exact stream order of the per-example loop this replaces.
+  const double c = schedule_.bound_at(round);
+  const ParamGroups clip_groups =
+      effective_groups(granularity_, groups, grads.rows.size());
+  dp::clip_per_example_per_layer(grads, clip_groups, c);
+  dp::GaussianMechanism mechanism(sigma_, c);
+  mechanism.sanitize_per_example(grads, rng);
+}
+
 FedCdpAdaptivePolicy::FedCdpAdaptivePolicy(double initial_bound,
                                            double noise_scale,
                                            std::size_t window)
@@ -145,6 +173,63 @@ void FedCdpAdaptivePolicy::sanitize_per_example(TensorList& grad,
   std::lock_guard<std::mutex> lock(mutex_);
   for (double norm : norms) {
     if (norm > 0.0) estimator_.observe(norm);
+  }
+}
+
+void FedCdpAdaptivePolicy::sanitize_per_example_batch(
+    tensor::list::PerExampleGrads& grads, const ParamGroups& groups,
+    std::int64_t /*round*/, Rng& rng) const {
+  // The estimator may move between examples (each example's pre-clip
+  // norms are folded in before the next example is clipped), so the
+  // batched form keeps the example-major loop but works on rows in
+  // place instead of materializing per-example TensorLists.
+  const std::int64_t batch = grads.batch;
+  for (std::int64_t j = 0; j < batch; ++j) {
+    double bound = initial_bound_;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (estimator_.ready()) bound = estimator_.median();
+    }
+    std::vector<double> norms;
+    norms.reserve(groups.size());
+    for (const auto& group : groups) {
+      double joint = 0.0;
+      for (std::size_t p : group) {
+        const std::int64_t width = grads.rows[p].numel() / batch;
+        const float* row = grads.rows[p].data() + j * width;
+        double s = 0.0;
+        for (std::int64_t i = 0; i < width; ++i)
+          s += static_cast<double>(row[i]) * static_cast<double>(row[i]);
+        // Rounded through float exactly like Tensor::l2_norm, so the
+        // bound comparison matches the sliced path bit for bit.
+        const double tensor_norm =
+            static_cast<double>(static_cast<float>(std::sqrt(s)));
+        joint += tensor_norm * tensor_norm;
+      }
+      const double norm = std::sqrt(joint);
+      norms.push_back(norm);
+      if (norm > bound) {
+        const float scale = static_cast<float>(bound / norm);
+        for (std::size_t p : group) {
+          const std::int64_t width = grads.rows[p].numel() / batch;
+          float* row = grads.rows[p].data() + j * width;
+          for (std::int64_t i = 0; i < width; ++i) row[i] *= scale;
+        }
+      }
+    }
+    const float stddev = static_cast<float>(sigma_ * bound);
+    if (stddev > 0.0f) {
+      for (tensor::Tensor& rows : grads.rows) {
+        const std::int64_t width = rows.numel() / batch;
+        float* row = rows.data() + j * width;
+        for (std::int64_t i = 0; i < width; ++i)
+          row[i] += static_cast<float>(rng.normal(0.0, stddev));
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (double norm : norms) {
+      if (norm > 0.0) estimator_.observe(norm);
+    }
   }
 }
 

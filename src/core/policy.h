@@ -41,10 +41,27 @@ class PrivacyPolicy {
   // (non-private, Fed-SDP).
   virtual bool needs_per_example_gradients() const { return false; }
 
+  // True when the policy carries mutable cross-client state whose
+  // result depends on observation order (e.g. the median-norm
+  // estimator). The trainer serializes client execution for such
+  // policies to keep runs bit-reproducible.
+  virtual bool order_dependent() const { return false; }
+
   // Hook 1: sanitize one example's gradient during local training.
   virtual void sanitize_per_example(TensorList& grad,
                                     const ParamGroups& groups,
                                     std::int64_t round, Rng& rng) const;
+
+  // Hook 1, batched form: sanitize every example of a local iteration
+  // in the [B, numel] per-parameter layout the batched gradient engine
+  // produces. The default loops over examples through
+  // sanitize_per_example (correct for any subclass); Fed-CDP overrides
+  // it with an in-place batched clip+noise that draws from `rng` in
+  // the same example-major order, so both forms consume identical
+  // noise streams.
+  virtual void sanitize_per_example_batch(
+      tensor::list::PerExampleGrads& grads, const ParamGroups& groups,
+      std::int64_t round, Rng& rng) const;
 
   // Hook 2: sanitize the client's round update before sharing.
   virtual void sanitize_client_update(TensorList& update,
@@ -124,6 +141,10 @@ class FedCdpPolicy final : public PrivacyPolicy {
 
   void sanitize_per_example(TensorList& grad, const ParamGroups& groups,
                             std::int64_t round, Rng& rng) const override;
+  void sanitize_per_example_batch(tensor::list::PerExampleGrads& grads,
+                                  const ParamGroups& groups,
+                                  std::int64_t round,
+                                  Rng& rng) const override;
 
   double clipping_bound_at(std::int64_t round) const;
   double noise_scale() const { return sigma_; }
@@ -149,9 +170,14 @@ class FedCdpAdaptivePolicy final : public PrivacyPolicy {
 
   std::string name() const override { return "Fed-CDP(median)"; }
   bool needs_per_example_gradients() const override { return true; }
+  bool order_dependent() const override { return true; }
 
   void sanitize_per_example(TensorList& grad, const ParamGroups& groups,
                             std::int64_t round, Rng& rng) const override;
+  void sanitize_per_example_batch(tensor::list::PerExampleGrads& grads,
+                                  const ParamGroups& groups,
+                                  std::int64_t round,
+                                  Rng& rng) const override;
 
   // Bound the next sanitization will use.
   double current_bound() const;

@@ -24,6 +24,19 @@ Dataset::Dataset(Tensor features, std::vector<std::int64_t> labels,
   }
 }
 
+void copy_example(const Batch& batch, std::int64_t j, Batch& out) {
+  FEDCL_CHECK(j >= 0 && j < batch.size());
+  Shape shape = batch.x.shape();
+  shape[0] = 1;
+  if (!out.x.defined() || !(out.x.shape() == shape)) {
+    out.x = Tensor(shape);
+  }
+  const std::int64_t row = batch.x.numel() / batch.size();
+  std::memcpy(out.x.data(), batch.x.data() + j * row,
+              sizeof(float) * static_cast<std::size_t>(row));
+  out.labels.assign(1, batch.labels[static_cast<std::size_t>(j)]);
+}
+
 Shape Dataset::example_shape() const {
   Shape s = features_.shape();
   s.erase(s.begin());

@@ -23,6 +23,12 @@ struct Batch {
   std::int64_t size() const { return x.defined() ? x.dim(0) : 0; }
 };
 
+// Copies example j of `batch` into `out` as a batch of size 1, reusing
+// out's storage when the shape already matches. Callers that extract
+// examples repeatedly keep one scratch Batch instead of allocating per
+// example.
+void copy_example(const Batch& batch, std::int64_t j, Batch& out);
+
 // Immutable dataset: features [N, ...example dims], integer labels.
 class Dataset {
  public:

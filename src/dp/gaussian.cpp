@@ -22,6 +22,20 @@ void GaussianMechanism::sanitize(Tensor& update, Rng& rng) const {
   update.add_gaussian_noise_(rng, static_cast<float>(noise_stddev()));
 }
 
+void GaussianMechanism::sanitize_per_example(
+    tensor::list::PerExampleGrads& grads, Rng& rng) const {
+  const float stddev = static_cast<float>(noise_stddev());
+  if (stddev == 0.0f) return;
+  for (std::int64_t j = 0; j < grads.batch; ++j) {
+    for (Tensor& rows : grads.rows) {
+      const std::int64_t width = rows.numel() / grads.batch;
+      float* row = rows.data() + j * width;
+      for (std::int64_t i = 0; i < width; ++i)
+        row[i] += static_cast<float>(rng.normal(0.0, stddev));
+    }
+  }
+}
+
 double GaussianMechanism::sigma_for(double epsilon, double delta) {
   FEDCL_CHECK(epsilon > 0.0 && epsilon < 1.0) << "epsilon " << epsilon;
   FEDCL_CHECK(delta > 0.0 && delta < 1.0) << "delta " << delta;

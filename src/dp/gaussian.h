@@ -26,6 +26,11 @@ class GaussianMechanism {
   // Adds N(0, (sigma*S)^2) i.i.d. to every coordinate.
   void sanitize(TensorList& update, Rng& rng) const;
   void sanitize(Tensor& update, Rng& rng) const;
+  // Batched per-example layout: noise is drawn example-major (example
+  // j's parameters in order), the same stream order as calling
+  // sanitize on each example's TensorList in turn.
+  void sanitize_per_example(tensor::list::PerExampleGrads& grads,
+                            Rng& rng) const;
 
   // The minimal sigma that makes one application (epsilon, delta)-DP
   // per Definition 2 / Lemma 1 (valid for 0 < epsilon < 1).

@@ -7,26 +7,9 @@
 #include "common/rng.h"
 #include "nn/grad_utils.h"
 #include "nn/optimizer.h"
+#include "nn/per_example.h"
 
 namespace fedcl::fl {
-
-namespace {
-
-// Extracts example j of a batch as a batch of size 1.
-data::Batch slice_example(const data::Batch& batch, std::int64_t j) {
-  FEDCL_CHECK(j >= 0 && j < batch.size());
-  tensor::Shape shape = batch.x.shape();
-  shape[0] = 1;
-  data::Batch out;
-  out.x = tensor::Tensor(shape);
-  const std::int64_t row = batch.x.numel() / batch.size();
-  const float* src = batch.x.data() + j * row;
-  std::copy(src, src + row, out.x.data());
-  out.labels = {batch.labels[static_cast<std::size_t>(j)]};
-  return out;
-}
-
-}  // namespace
 
 double LocalTrainConfig::learning_rate_at(std::int64_t round) const {
   FEDCL_CHECK_GE(round, 0);
@@ -66,7 +49,6 @@ ClientRoundOutcome Client::run_round(nn::Sequential& model,
   nn::SgdOptimizer optimizer(config_.learning_rate_at(round));
 
   ClientRoundOutcome outcome;
-  const float inv_b = 1.0f / static_cast<float>(config_.batch_size);
 
   for (std::int64_t l = 0; l < config_.local_iterations; ++l) {
     data::Batch batch = data_.sample_batch(rng, config_.batch_size);
@@ -74,48 +56,46 @@ ClientRoundOutcome Client::run_round(nn::Sequential& model,
 
     TensorList step_grad;
     if (policy.needs_per_example_gradients()) {
-      // Algorithm 2 lines 6-14: per-example gradient, per-layer clip,
-      // per-example noise, then the 1/B batch average.
-      for (std::int64_t j = 0; j < batch.size(); ++j) {
-        data::Batch ex = slice_example(batch, j);
-        TensorList grad = nn::compute_gradients(model, ex.x, ex.labels);
-        policy.sanitize_per_example(grad, groups, round, rng);
-        if (probing && j == 0) {
-          probe->type2_observed = tensor::list::clone(grad);
-          probe->type2_example = ex;
-        }
-        if (step_grad.empty()) {
-          step_grad = std::move(grad);
-        } else {
-          tensor::list::add_(step_grad, grad);
-        }
+      // Algorithm 2 lines 6-14: one batched forward/backward yields
+      // every example's gradient, then per-layer clip + per-example
+      // noise in place, then the 1/B batch average.
+      tensor::list::PerExampleGrads grads =
+          nn::per_example_gradients(model, batch.x, batch.labels);
+      if (l == 0) {
+        // The pre-policy batch gradient is the mean of the raw
+        // per-example gradients — no second full backward needed for
+        // the probe or the norm metric.
+        TensorList batch_grad = grads.mean();
+        outcome.first_iteration_grad_norm =
+            tensor::list::l2_norm(batch_grad);
+        if (probing) probe->first_batch_gradient = std::move(batch_grad);
       }
-      tensor::list::scale_(step_grad, inv_b);
+      policy.sanitize_per_example_batch(grads, groups, round, rng);
+      if (probing) {
+        probe->type2_observed = grads.example(0);
+        data::copy_example(batch, 0, probe->type2_example);
+      }
+      step_grad = grads.mean();
     } else {
       step_grad = nn::compute_gradients(model, batch.x, batch.labels);
       if (probing) {
         // Type-2 adversary reads the raw per-example gradient during
         // training; non-per-example policies leave it unprotected.
-        data::Batch ex = slice_example(batch, 0);
-        probe->type2_observed = nn::compute_gradients(model, ex.x, ex.labels);
-        probe->type2_example = ex;
+        data::copy_example(batch, 0, probe->type2_example);
+        probe->type2_observed = nn::compute_gradients(
+            model, probe->type2_example.x, probe->type2_example.labels);
+      }
+      if (l == 0) {
+        outcome.first_iteration_grad_norm = tensor::list::l2_norm(step_grad);
       }
     }
 
     if (probing) {
       probe->first_batch = batch;
-      probe->first_batch_gradient =
-          policy.needs_per_example_gradients()
-              ? nn::compute_gradients(model, batch.x, batch.labels)
-              : tensor::list::clone(step_grad);
+      if (!policy.needs_per_example_gradients()) {
+        probe->first_batch_gradient = tensor::list::clone(step_grad);
+      }
       probe->captured = true;
-    }
-    if (l == 0) {
-      outcome.first_iteration_grad_norm =
-          policy.needs_per_example_gradients()
-              ? tensor::list::l2_norm(
-                    nn::compute_gradients(model, batch.x, batch.labels))
-              : tensor::list::l2_norm(step_grad);
     }
 
     // Line 15: local gradient descent with the sanitized batch gradient.

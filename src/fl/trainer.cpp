@@ -6,15 +6,32 @@
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "fl/client.h"
 #include "fl/compression.h"
 #include "fl/server.h"
 #include "nn/grad_utils.h"
+#include "nn/layers.h"
 #include "nn/model_zoo.h"
 
 namespace fedcl::fl {
+
+namespace {
+
+// Stochastic layers (Dropout) hold their own RNG stream inside the
+// model, so sharing scratch models across differently-scheduled
+// clients would make the stream order depend on the schedule.
+bool has_stochastic_layer(const nn::Sequential& model) {
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    if (dynamic_cast<const nn::Dropout*>(&model.layer(i)) != nullptr)
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 FlRunResult run_experiment(const FlExperimentConfig& config,
                            const core::PrivacyPolicy& policy) {
@@ -55,11 +72,34 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
                          local);
   }
 
-  // One scratch model instance serves all clients sequentially; its
+  // The main scratch model serves serial training and evaluation; its
   // weights are overwritten from the global model each run_round.
   std::shared_ptr<nn::Sequential> model =
       nn::build_model(config.bench.model, model_rng);
   const dp::ParamGroups groups = to_param_groups(model->layer_groups());
+
+  // Parallel client execution: correct only when clients are
+  // independent given their forked RNG streams — which order-dependent
+  // policies and in-model RNG state (Dropout) break, so those fall
+  // back to the serial schedule.
+  ThreadPool& pool = compute_pool();
+  const bool parallel_clients = config.parallel_clients && pool.size() > 1 &&
+                                !policy.order_dependent() &&
+                                !has_stochastic_layer(*model);
+  // One private scratch model per concurrent training slot. Their
+  // initial weights are irrelevant (run_round installs the global
+  // weights first), so each is built from a throwaway fork.
+  std::vector<std::shared_ptr<nn::Sequential>> slot_models;
+  if (parallel_clients) {
+    const std::size_t slots =
+        std::min(pool.size(),
+                 static_cast<std::size_t>(config.clients_per_round));
+    slot_models.reserve(slots);
+    for (std::size_t s = 0; s < slots; ++s) {
+      Rng scratch_rng = root.fork("scratch-model", s);
+      slot_models.push_back(nn::build_model(config.bench.model, scratch_rng));
+    }
+  }
   FEDCL_CHECK(config.client_dropout >= 0.0 && config.client_dropout < 1.0)
       << "client dropout " << config.client_dropout;
   Server server(model->weights(),
@@ -90,74 +130,143 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
     Rng drop_rng = round_rng.fork("dropout", static_cast<std::uint64_t>(t));
     Rng fault_rng = round_rng.fork("faults", static_cast<std::uint64_t>(t));
 
-    // Runs one client through local training and the secure transport
-    // path; every failure mode is a per-client event.
-    auto attempt_client = [&](std::size_t ci) {
-      if (config.client_dropout > 0.0 &&
-          drop_rng.bernoulli(config.client_dropout)) {
-        ++stats.dropouts;  // this client never reports back
-        ++transient_failed;
-        return;
-      }
-      const FaultType fault =
-          plan.fault_for(t, static_cast<std::int64_t>(ci));
-      if (fault == FaultType::kCrash) {
-        ++stats.injected_crash;  // dies before reporting
-        ++transient_failed;
-        return;
-      }
-      if (fault == FaultType::kStraggler) {
-        ++stats.injected_straggler;  // misses the round deadline
-        ++transient_failed;
-        return;
-      }
-      Rng crng = round_rng.fork("client", static_cast<std::uint64_t>(
-                                              t * 1000003 +
-                                              static_cast<std::int64_t>(ci)));
-      ClientRoundOutcome outcome = clients[ci].run_round(
-          *model, server.weights(), policy, t, crng);
-      if (config.prune_ratio > 0.0) {
-        prune_smallest(outcome.update.delta, config.prune_ratio);
-      }
-      norm_sum += outcome.first_iteration_grad_norm;
-      ms_sum += outcome.local_train_ms;
-      ++trained;
-
-      if (fault == FaultType::kCorruptDelta) {
-        corrupt_delta(outcome.update.delta, fault_rng);
-        ++stats.injected_corrupt;
-      } else if (fault == FaultType::kStaleRound) {
-        outcome.update.round = t - 1;  // replayed from the prior round
-        ++stats.injected_stale;
-      }
-
-      // Transport: serialize -> seal -> (hostile channel) -> open ->
-      // deserialize. A decode failure drops this client's update only.
-      SecureChannel channel(config.seed ^
-                            (0x5EC2E7ULL + static_cast<std::uint64_t>(ci) *
-                                               0x9E3779B97F4A7C15ULL));
-      std::vector<std::uint8_t> wire =
-          channel.seal(serialize_update(outcome.update));
-      if (fault == FaultType::kBitFlip) {
-        flip_random_bits(wire, fault_rng);
-        ++stats.injected_bit_flip;
-      }
-      Result<std::vector<std::uint8_t>> opened = channel.open(std::move(wire));
-      if (!opened.ok()) {
-        ++stats.rejected_decode;
-        return;
-      }
-      Result<ClientUpdate> decoded = deserialize_update(opened.value());
-      if (!decoded.ok()) {
-        ++stats.rejected_decode;
-        return;
-      }
-      updates.push_back(decoded.take());
-      update_weights.push_back(
-          static_cast<double>(clients[ci].data().size()));
+    // Each client attempt is phase-split so the round stays bitwise
+    // deterministic under any schedule:
+    //  1. plan    (serial)   — dropout draws and fault lookups, in
+    //                          client order (the shared drop_rng).
+    //  2. train   (parallel) — local training from the client's own
+    //                          (round, client)-forked stream on a
+    //                          private scratch model.
+    //  3. deliver (serial)   — metrics, fault corruption (the shared
+    //                          fault_rng), transport, in client order.
+    struct Attempt {
+      std::size_t ci = 0;
+      FaultType fault = FaultType::kNone;
+      bool run = false;  // survived dropout / crash / straggler
+      ClientRoundOutcome outcome;
     };
 
-    for (std::size_t ci : chosen) attempt_client(ci);
+    auto plan_attempts = [&](const std::vector<std::size_t>& cis) {
+      std::vector<Attempt> attempts;
+      attempts.reserve(cis.size());
+      for (std::size_t ci : cis) {
+        Attempt a;
+        a.ci = ci;
+        if (config.client_dropout > 0.0 &&
+            drop_rng.bernoulli(config.client_dropout)) {
+          ++stats.dropouts;  // this client never reports back
+          ++transient_failed;
+        } else {
+          a.fault = plan.fault_for(t, static_cast<std::int64_t>(ci));
+          if (a.fault == FaultType::kCrash) {
+            ++stats.injected_crash;  // dies before reporting
+            ++transient_failed;
+          } else if (a.fault == FaultType::kStraggler) {
+            ++stats.injected_straggler;  // misses the round deadline
+            ++transient_failed;
+          } else {
+            a.run = true;
+          }
+        }
+        attempts.push_back(std::move(a));
+      }
+      return attempts;
+    };
+
+    auto train_attempts = [&](std::vector<Attempt>& attempts) {
+      std::vector<std::size_t> runnable;
+      for (std::size_t i = 0; i < attempts.size(); ++i) {
+        if (attempts[i].run) runnable.push_back(i);
+      }
+      auto train_one = [&](Attempt& a, nn::Sequential& scratch) {
+        Rng crng = round_rng.fork(
+            "client", static_cast<std::uint64_t>(
+                          t * 1000003 + static_cast<std::int64_t>(a.ci)));
+        a.outcome = clients[a.ci].run_round(scratch, server.weights(),
+                                            policy, t, crng);
+      };
+      if (!parallel_clients || runnable.size() <= 1) {
+        for (std::size_t i : runnable) train_one(attempts[i], *model);
+        return;
+      }
+      // Scratch models are interchangeable (run_round installs the
+      // global weights first), so a checkout stack suffices; the
+      // concurrency level never exceeds the slot count.
+      std::mutex slot_mutex;
+      std::vector<nn::Sequential*> free_slots;
+      free_slots.reserve(slot_models.size());
+      for (const auto& m : slot_models) free_slots.push_back(m.get());
+      pool.parallel_for(runnable.size(), [&](std::size_t k) {
+        nn::Sequential* scratch = nullptr;
+        {
+          std::lock_guard<std::mutex> lock(slot_mutex);
+          FEDCL_CHECK(!free_slots.empty());
+          scratch = free_slots.back();
+          free_slots.pop_back();
+        }
+        train_one(attempts[runnable[k]], *scratch);
+        std::lock_guard<std::mutex> lock(slot_mutex);
+        free_slots.push_back(scratch);
+      });
+    };
+
+    // Serial delivery in client order: every failure mode remains a
+    // per-client event, and fault_rng is consumed exactly as the
+    // serial schedule would.
+    auto deliver_attempts = [&](std::vector<Attempt>& attempts) {
+      for (Attempt& a : attempts) {
+        if (!a.run) continue;
+        ClientRoundOutcome& outcome = a.outcome;
+        if (config.prune_ratio > 0.0) {
+          prune_smallest(outcome.update.delta, config.prune_ratio);
+        }
+        norm_sum += outcome.first_iteration_grad_norm;
+        ms_sum += outcome.local_train_ms;
+        ++trained;
+
+        if (a.fault == FaultType::kCorruptDelta) {
+          corrupt_delta(outcome.update.delta, fault_rng);
+          ++stats.injected_corrupt;
+        } else if (a.fault == FaultType::kStaleRound) {
+          outcome.update.round = t - 1;  // replayed from the prior round
+          ++stats.injected_stale;
+        }
+
+        // Transport: serialize -> seal -> (hostile channel) -> open ->
+        // deserialize. A decode failure drops this client's update only.
+        SecureChannel channel(
+            config.seed ^ (0x5EC2E7ULL + static_cast<std::uint64_t>(a.ci) *
+                                             0x9E3779B97F4A7C15ULL));
+        std::vector<std::uint8_t> wire =
+            channel.seal(serialize_update(outcome.update));
+        if (a.fault == FaultType::kBitFlip) {
+          flip_random_bits(wire, fault_rng);
+          ++stats.injected_bit_flip;
+        }
+        Result<std::vector<std::uint8_t>> opened =
+            channel.open(std::move(wire));
+        if (!opened.ok()) {
+          ++stats.rejected_decode;
+          continue;
+        }
+        Result<ClientUpdate> decoded = deserialize_update(opened.value());
+        if (!decoded.ok()) {
+          ++stats.rejected_decode;
+          continue;
+        }
+        updates.push_back(decoded.take());
+        update_weights.push_back(
+            static_cast<double>(clients[a.ci].data().size()));
+      }
+    };
+
+    auto attempt_clients = [&](const std::vector<std::size_t>& cis) {
+      std::vector<Attempt> attempts = plan_attempts(cis);
+      train_attempts(attempts);
+      deliver_attempts(attempts);
+    };
+
+    attempt_clients(chosen);
 
     // One resample-retry pass: when delivery fell below the quorum and
     // some failures were transient (crash/straggler/dropout), draw
@@ -166,18 +275,19 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
         static_cast<std::int64_t>(updates.size()) < config.min_reporting) {
       std::vector<bool> in_round(clients.size(), false);
       for (std::size_t ci : chosen) in_round[ci] = true;
-      std::vector<std::size_t> pool;
+      std::vector<std::size_t> spare;
       for (std::size_t i = 0; i < clients.size(); ++i) {
-        if (!in_round[i]) pool.push_back(i);
+        if (!in_round[i]) spare.push_back(i);
       }
       Rng retry_rng = round_rng.fork("retry", static_cast<std::uint64_t>(t));
-      retry_rng.shuffle(pool);
+      retry_rng.shuffle(spare);
       const std::size_t replacements =
-          std::min(pool.size(), static_cast<std::size_t>(transient_failed));
-      for (std::size_t r = 0; r < replacements; ++r) {
-        ++stats.retried_clients;
-        attempt_client(pool[r]);
-      }
+          std::min(spare.size(), static_cast<std::size_t>(transient_failed));
+      std::vector<std::size_t> replacement_cis(
+          spare.begin(), spare.begin() + static_cast<std::ptrdiff_t>(
+                                             replacements));
+      stats.retried_clients += static_cast<std::int64_t>(replacements);
+      attempt_clients(replacement_cis);
     }
 
     bool applied = false;

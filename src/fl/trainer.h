@@ -62,6 +62,15 @@ struct FlExperimentConfig {
   // clients (one retry pass) for the transiently failed ones before
   // giving up on the round.
   bool retry_failed_clients = true;
+  // Run the selected clients' local training concurrently on the shared
+  // compute pool. The round is phase-split so every shared RNG stream
+  // is consumed serially in client order, and each client trains from
+  // its own (round, client)-forked stream on a private scratch model —
+  // results are bitwise identical to the serial schedule for any
+  // FEDCL_THREADS. Policies with order-dependent state (the median-norm
+  // estimator) and models with stochastic layers are serialized
+  // automatically.
+  bool parallel_clients = true;
 
   std::int64_t effective_rounds() const {
     return rounds > 0 ? rounds : bench.rounds;

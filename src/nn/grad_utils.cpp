@@ -60,11 +60,16 @@ double evaluate_accuracy(const Sequential& model, const Tensor& x,
   const std::int64_t row = x.numel() / n;
   tensor::GradModeGuard no_grad(false);
   std::size_t hits = 0;
+  // One scratch chunk reused across iterations; only the final partial
+  // chunk (if any) triggers a second allocation.
+  tensor::Shape bshape = x.shape();
+  Tensor bx;
   for (std::int64_t start = 0; start < n; start += batch) {
     const std::int64_t count = std::min(batch, n - start);
-    tensor::Shape bshape = x.shape();
-    bshape[0] = count;
-    Tensor bx(bshape);
+    if (!bx.defined() || bx.dim(0) != count) {
+      bshape[0] = count;
+      bx = Tensor(bshape);
+    }
     std::memcpy(bx.data(), x.data() + start * row,
                 sizeof(float) * static_cast<std::size_t>(count * row));
     Var logits = model.forward(Var(bx, false));

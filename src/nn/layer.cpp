@@ -33,6 +33,11 @@ const Layer& Sequential::layer(std::size_t i) const {
   return *layers_[i];
 }
 
+Layer& Sequential::layer(std::size_t i) {
+  FEDCL_CHECK_LT(i, layers_.size());
+  return *layers_[i];
+}
+
 std::int64_t Sequential::parameter_numel() const {
   std::int64_t n = 0;
   for (const Var& p : params_) n += p.numel();

@@ -50,6 +50,9 @@ class Sequential {
 
   std::size_t layer_count() const { return layers_.size(); }
   const Layer& layer(std::size_t i) const;
+  // Mutable access for components that drive layers directly (the
+  // batched per-example engine consumes Dropout's mask stream).
+  Layer& layer(std::size_t i);
 
   // All trainable parameters, ordered by layer.
   const std::vector<Var>& parameters() const { return params_; }

@@ -165,15 +165,19 @@ Dropout::Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {
   FEDCL_CHECK(p >= 0.0 && p < 1.0) << "dropout p " << p;
 }
 
-Var Dropout::forward(const Var& x) {
-  if (!training_ || p_ == 0.0) return x;
-  Tensor mask(x.value().shape());
+Tensor Dropout::sample_mask(const tensor::Shape& shape) {
+  Tensor mask(shape);
   const float keep_scale = static_cast<float>(1.0 / (1.0 - p_));
   float* m = mask.data();
   for (std::int64_t i = 0; i < mask.numel(); ++i) {
     m[i] = rng_.bernoulli(p_) ? 0.0f : keep_scale;
   }
-  return o::mul(x, o::constant(std::move(mask)));
+  return mask;
+}
+
+Var Dropout::forward(const Var& x) {
+  if (!training_ || p_ == 0.0) return x;
+  return o::mul(x, o::constant(sample_mask(x.value().shape())));
 }
 
 Var Flatten::forward(const Var& x) {

@@ -41,6 +41,11 @@ class Conv2d : public Layer {
   Var forward(const Var& x) override;
   std::vector<Var> parameters() const override { return {weight_, bias_}; }
   std::string name() const override { return name_; }
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
 
  private:
   std::int64_t in_channels_;
@@ -61,6 +66,7 @@ class AvgPool2d : public Layer {
   explicit AvgPool2d(std::int64_t kernel);
   Var forward(const Var& x) override;
   std::string name() const override { return "avgpool"; }
+  std::int64_t kernel() const { return kernel_; }
 
  private:
   std::int64_t kernel_;
@@ -76,6 +82,7 @@ class MaxPool2d : public Layer {
   explicit MaxPool2d(std::int64_t kernel);
   Var forward(const Var& x) override;
   std::string name() const override { return "maxpool"; }
+  std::int64_t kernel() const { return kernel_; }
 
  private:
   std::int64_t kernel_;
@@ -92,6 +99,12 @@ class Dropout : public Layer {
   std::string name() const override { return "dropout"; }
   void set_training(bool training) override { training_ = training; }
   bool training() const { return training_; }
+  double p() const { return p_; }
+  // Draws the next inverted-dropout mask (0 or 1/(1-p) per element)
+  // from the layer's seeded stream. forward() and the batched
+  // per-example engine both consume masks through here, so either path
+  // advances the same stream.
+  tensor::Tensor sample_mask(const tensor::Shape& shape);
 
  private:
   double p_;
@@ -114,6 +127,8 @@ class InputScale : public Layer {
   InputScale(float shift, float scale) : shift_(shift), scale_(scale) {}
   Var forward(const Var& x) override;
   std::string name() const override { return "input_scale"; }
+  float shift() const { return shift_; }
+  float scale() const { return scale_; }
 
  private:
   float shift_;
@@ -129,6 +144,7 @@ class ActivationLayer : public Layer {
   explicit ActivationLayer(Activation kind) : kind_(kind) {}
   Var forward(const Var& x) override;
   std::string name() const override { return activation_name(kind_); }
+  Activation kind() const { return kind_; }
 
  private:
   Activation kind_;

@@ -1,0 +1,69 @@
+// Batched per-example gradient engine (the Goodfellow trick).
+//
+// Fed-CDP (Algorithm 2) needs every example's own parameter gradient,
+// not just the batch mean. The naive implementation runs B separate
+// forward/backward graphs per local iteration. This engine runs ONE
+// batched forward and ONE batched backward and recovers each example's
+// weight gradients per layer from the cached input activations and
+// output deltas:
+//
+//   Dense:  grad_W[j] = a_j^T delta_j            (outer product)
+//   Conv:   grad_W[j] = cols_j^T delta_j         (im2col column slice)
+//
+// The loss is seeded with each example's own softmax-cross-entropy
+// gradient (softmax(z) - onehot, no 1/B), and since no layer mixes
+// rows across the batch dimension, the batched backward delta restricted
+// to example j IS that example's delta — so the outer products above
+// are exact, not approximations. Results match the sliced reference
+// to float rounding (~1e-6 relative).
+//
+// Gradients come back in the [B, numel] row layout of PerExampleGrads,
+// which the DP policies clip and noise in place without materializing
+// B TensorLists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/tensor_list.h"
+
+namespace fedcl::nn {
+
+using tensor::Tensor;
+
+// Which implementation per_example_gradients dispatches to.
+//  kAuto    — batched when the model is supported, sliced otherwise.
+//  kBatched — always batched (checks support).
+//  kSliced  — always the B-graph reference path (bench baseline).
+enum class PerExampleMode { kAuto, kBatched, kSliced };
+
+void set_per_example_mode(PerExampleMode mode);
+PerExampleMode per_example_mode();
+
+// True when every layer of the model is one the batched engine knows
+// how to differentiate (Linear, Conv2d, AvgPool2d, MaxPool2d, Dropout,
+// Flatten, InputScale, activations).
+bool per_example_supported(const Sequential& model);
+
+// Batched engine: one forward + one backward over the whole batch.
+// x: [B, ...], labels: size B. Returns one [B, numel(p)] row matrix
+// per model parameter, in Sequential::parameters() order. out_loss,
+// when non-null, receives the mean cross-entropy loss.
+tensor::list::PerExampleGrads compute_per_example_gradients(
+    Sequential& model, const Tensor& x,
+    const std::vector<std::int64_t>& labels, double* out_loss = nullptr);
+
+// Reference implementation: B single-example autograd graphs — the
+// exact computation the engine replaces. Kept for parity tests and as
+// the bench baseline.
+tensor::list::PerExampleGrads compute_per_example_gradients_sliced(
+    Sequential& model, const Tensor& x,
+    const std::vector<std::int64_t>& labels, double* out_loss = nullptr);
+
+// Dispatches between the two according to per_example_mode().
+tensor::list::PerExampleGrads per_example_gradients(
+    Sequential& model, const Tensor& x,
+    const std::vector<std::int64_t>& labels, double* out_loss = nullptr);
+
+}  // namespace fedcl::nn

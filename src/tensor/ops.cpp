@@ -179,11 +179,33 @@ Var matmul(const Var& a, const Var& b) {
   return Var::make_op(
       t::matmul(a.value(), b.value()), {a, b},
       [a, b](const Var& g) -> std::vector<Var> {
-        Var ga = matmul(g, transpose(b));
-        Var gb = matmul(transpose(a), g);
+        Var ga = matmul_nt(g, b);   // g b^T
+        Var gb = matmul_tn(a, g);   // a^T g
         return {ga, gb};
       },
       "matmul");
+}
+
+Var matmul_tn(const Var& a, const Var& b) {
+  return Var::make_op(
+      t::matmul_tn(a.value(), b.value()), {a, b},
+      [a, b](const Var& g) -> std::vector<Var> {
+        Var ga = matmul_nt(b, g);   // b g^T -> [K,M]
+        Var gb = matmul(a, g);      // a g   -> [K,N]
+        return {ga, gb};
+      },
+      "matmul_tn");
+}
+
+Var matmul_nt(const Var& a, const Var& b) {
+  return Var::make_op(
+      t::matmul_nt(a.value(), b.value()), {a, b},
+      [a, b](const Var& g) -> std::vector<Var> {
+        Var ga = matmul(g, b);      // g b   -> [M,K]
+        Var gb = matmul_tn(g, a);   // g^T a -> [N,K]
+        return {ga, gb};
+      },
+      "matmul_nt");
 }
 
 Var transpose(const Var& a) {

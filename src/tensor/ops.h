@@ -47,6 +47,12 @@ Var square(const Var& a);
 
 // ---- linear algebra ----
 Var matmul(const Var& a, const Var& b);
+// a: [K,M], b: [K,N] -> a^T b. Transpose-aware: no transposed copy is
+// materialized, and the VJPs of all three matmul variants are written
+// in terms of each other, so backward passes stay copy-free too.
+Var matmul_tn(const Var& a, const Var& b);
+// a: [M,K], b: [N,K] -> a b^T.
+Var matmul_nt(const Var& a, const Var& b);
 Var transpose(const Var& a);
 
 // ---- shape ----

@@ -4,16 +4,68 @@
 #include <cmath>
 #include <cstring>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace fedcl::tensor {
 
 namespace {
 
+// Large blocks are recycled through a per-thread free list. The
+// batched per-example engine allocates multi-megabyte intermediates
+// (im2col unfoldings, per-example gradient rows) on every local
+// iteration; glibc serves blocks of that size with mmap/munmap, so
+// without recycling each reuse pays a page-fault sweep over freshly
+// mapped memory. Blocks below the threshold stay with plain new[] —
+// the allocator already recycles those well.
+constexpr std::int64_t kBlockCacheMinFloats = 1 << 14;  // 64 KiB
+constexpr std::size_t kBlockCacheMaxBytes = std::size_t{64} << 20;
+
+struct BlockCache {
+  std::unordered_map<std::int64_t, std::vector<float*>> free_by_size;
+  std::size_t bytes = 0;
+  ~BlockCache() {
+    for (auto& [size, blocks] : free_by_size)
+      for (float* p : blocks) delete[] p;
+  }
+};
+
+BlockCache& block_cache() {
+  thread_local BlockCache cache;
+  return cache;
+}
+
 std::shared_ptr<float[]> alloc_storage(std::int64_t n) {
   FEDCL_CHECK_GE(n, 0);
+  if (n >= kBlockCacheMinFloats) {
+    const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(float);
+    // The deleter may run on a different thread than the allocation;
+    // each thread returns blocks to its own cache, which keeps both
+    // sides lock-free.
+    auto recycle = [n, bytes](float* p) {
+      BlockCache& cache = block_cache();
+      if (cache.bytes + bytes <= kBlockCacheMaxBytes) {
+        cache.free_by_size[n].push_back(p);
+        cache.bytes += bytes;
+      } else {
+        delete[] p;
+      }
+    };
+    BlockCache& cache = block_cache();
+    auto it = cache.free_by_size.find(n);
+    if (it != cache.free_by_size.end() && !it->second.empty()) {
+      float* p = it->second.back();
+      it->second.pop_back();
+      cache.bytes -= bytes;
+      std::memset(p, 0, bytes);
+      return std::shared_ptr<float[]>(p, recycle);
+    }
+    return std::shared_ptr<float[]>(new float[static_cast<std::size_t>(n)](),
+                                    recycle);
+  }
   // Value-initialized => zero-filled.
   return std::shared_ptr<float[]>(new float[static_cast<std::size_t>(n)]());
 }
@@ -279,6 +331,146 @@ Tensor sign(const Tensor& a) {
   });
 }
 
+namespace {
+
+// Cache-block edge for the reduction dimension: a block of B rows
+// (kKBlock * n floats) stays resident while it is reused across the
+// rows of an output tile.
+constexpr std::int64_t kKBlock = 128;
+// Flop threshold (m*k*n) below which threading overhead dominates and
+// the kernels stay serial.
+constexpr std::int64_t kParallelFlops = 1 << 18;
+// Output-row count at or above which matmul_nt packs B^T into a
+// scratch buffer and reuses the NN kernel; below it the transpose
+// cost is not amortized and the dot-product form wins.
+constexpr std::int64_t kNtPackRows = 16;
+
+// The hot kernels are compiled once per ISA level and dispatched at
+// load time (GNU ifunc), so a generic build still uses AVX2/FMA or
+// AVX-512 where the CPU has them. The baseline clone keeps the binary
+// portable. Accumulation order per output element is fixed
+// (ascending k), so results do not depend on row partitioning; FMA
+// contraction may round intermediate products differently across
+// clones, which stays within the library-wide float tolerance.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define FEDCL_KERNEL_CLONES \
+  __attribute__((target_clones("default", "arch=haswell", "arch=x86-64-v4")))
+#else
+#define FEDCL_KERNEL_CLONES
+#endif
+
+// Row-range worker for C[i0:i1) of C = A B. Ascending-k accumulation
+// per output element regardless of blocking, so the result is
+// independent of how rows are partitioned across threads. The
+// zero-skip on A pays off in forward passes where A holds post-ReLU
+// activations; the branch-free inner loop over j vectorizes.
+FEDCL_KERNEL_CLONES
+void matmul_nn_rows(const float* __restrict a, const float* __restrict b,
+                    float* __restrict out, std::int64_t i0, std::int64_t i1,
+                    std::int64_t k, std::int64_t n) {
+  for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
+    const std::int64_t k1 = std::min(k, k0 + kKBlock);
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* orow = out + i * n;
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const float av = a[i * k + kk];
+        if (av == 0.0f) continue;
+        const float* brow = b + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// Row-range worker for C[i0:i1) of C = A^T B with A: [k,m]. k-outer
+// order: each A row is read contiguously exactly once and the
+// [i0:i1) x n output tile stays cache-resident across the k sweep —
+// the per-example conv dW shapes (small m*n, deep k) live here.
+// Per-element accumulation is still ascending k.
+FEDCL_KERNEL_CLONES
+void matmul_tn_rows(const float* __restrict a, const float* __restrict b,
+                    float* __restrict out, std::int64_t i0, std::int64_t i1,
+                    std::int64_t k, std::int64_t m, std::int64_t n) {
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float av = arow[i];
+      float* orow = out + i * n;
+      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+// Row-range worker for C[i0:i1) of C = A B^T with B: [n,k]; both
+// operands are traversed contiguously (dot products of rows). Serves
+// small-m calls directly and is the fallback when packing B^T is not
+// worth it.
+void matmul_nt_rows(const float* a, const float* b, float* out,
+                    std::int64_t i0, std::int64_t i1, std::int64_t k,
+                    std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float s = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      orow[j] += s;
+    }
+  }
+}
+
+// Packs B [n,k] as B^T [k,n] so NT calls with enough output rows run
+// through the vector-friendly NN kernel instead of short dot
+// products. The accumulation order per output element is ascending k
+// either way.
+std::vector<float> pack_transpose(const float* b, std::int64_t n,
+                                  std::int64_t k) {
+  std::vector<float> bt(static_cast<std::size_t>(k) * n);
+  for (std::int64_t j = 0; j < n; ++j)
+    for (std::int64_t kk = 0; kk < k; ++kk) bt[kk * n + j] = b[j * k + kk];
+  return bt;
+}
+
+template <typename RowFn>
+void dispatch_rows(std::int64_t m, std::int64_t k, std::int64_t n,
+                   const RowFn& rows) {
+  ThreadPool& pool = compute_pool();
+  if (m * k * n < kParallelFlops || pool.size() <= 1) {
+    rows(0, m);
+    return;
+  }
+  pool.parallel_for_chunks(
+      static_cast<std::size_t>(m), /*grain=*/8,
+      [&](std::size_t begin, std::size_t end) {
+        rows(static_cast<std::int64_t>(begin),
+             static_cast<std::int64_t>(end));
+      });
+}
+
+}  // namespace
+
+void matmul_nn_into(const float* a, const float* b, float* out,
+                    std::int64_t m, std::int64_t k, std::int64_t n) {
+  matmul_nn_rows(a, b, out, 0, m, k, n);
+}
+
+void matmul_tn_into(const float* a, const float* b, float* out,
+                    std::int64_t k, std::int64_t m, std::int64_t n) {
+  matmul_tn_rows(a, b, out, 0, m, k, m, n);
+}
+
+void matmul_nt_into(const float* a, const float* b, float* out,
+                    std::int64_t m, std::int64_t k, std::int64_t n) {
+  if (m >= kNtPackRows) {
+    const std::vector<float> bt = pack_transpose(b, n, k);
+    matmul_nn_rows(a, bt.data(), out, 0, m, k, n);
+    return;
+  }
+  matmul_nt_rows(a, b, out, 0, m, k, n);
+}
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   FEDCL_CHECK_EQ(a.ndim(), 2u);
   FEDCL_CHECK_EQ(b.ndim(), 2u);
@@ -288,16 +480,47 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // ikj loop order: streams over b and out rows, cache friendly.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* orow = po + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
+  dispatch_rows(m, k, n, [&](std::int64_t i0, std::int64_t i1) {
+    matmul_nn_rows(pa, pb, po, i0, i1, k, n);
+  });
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  FEDCL_CHECK_EQ(a.ndim(), 2u);
+  FEDCL_CHECK_EQ(b.ndim(), 2u);
+  FEDCL_CHECK_EQ(a.dim(0), b.dim(0));
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  dispatch_rows(m, k, n, [&](std::int64_t i0, std::int64_t i1) {
+    matmul_tn_rows(pa, pb, po, i0, i1, k, m, n);
+  });
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  FEDCL_CHECK_EQ(a.ndim(), 2u);
+  FEDCL_CHECK_EQ(b.ndim(), 2u);
+  FEDCL_CHECK_EQ(a.dim(1), b.dim(1));
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  if (m >= kNtPackRows) {
+    const std::vector<float> bt = pack_transpose(pb, n, k);
+    const float* pbt = bt.data();
+    dispatch_rows(m, k, n, [&](std::int64_t i0, std::int64_t i1) {
+      matmul_nn_rows(pa, pbt, po, i0, i1, k, n);
+    });
+    return out;
   }
+  dispatch_rows(m, k, n, [&](std::int64_t i0, std::int64_t i1) {
+    matmul_nt_rows(pa, pb, po, i0, i1, k, n);
+  });
   return out;
 }
 

@@ -111,8 +111,29 @@ Tensor abs(const Tensor& a);
 Tensor sign(const Tensor& a);
 
 // ---- linear algebra ----
+// Matrix products use a cache-blocked kernel and, for large shapes,
+// split output rows across the shared compute pool. Each output
+// element is accumulated by exactly one thread in ascending-k order,
+// so results are bitwise identical for any thread count.
 // a: [M,K], b: [K,N] -> [M,N]
 Tensor matmul(const Tensor& a, const Tensor& b);
+// a: [K,M], b: [K,N] -> a^T b [M,N], without materializing a^T.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+// a: [M,K], b: [N,K] -> a b^T [M,N], without materializing b^T.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// Raw serial kernels over contiguous row-major buffers, accumulating
+// into out (callers zero-initialize). The per-example gradient engine
+// runs them on per-example sub-matrix slices of a batch buffer.
+void matmul_nn_into(const float* a, const float* b, float* out,
+                    std::int64_t m, std::int64_t k, std::int64_t n);
+// a: [K,M] column-addressed -> out += a^T b, out: [M,N].
+void matmul_tn_into(const float* a, const float* b, float* out,
+                    std::int64_t k, std::int64_t m, std::int64_t n);
+// b: [N,K] -> out += a b^T, out: [M,N].
+void matmul_nt_into(const float* a, const float* b, float* out,
+                    std::int64_t m, std::int64_t k, std::int64_t n);
+
 // a: [M,N] -> [N,M]
 Tensor transpose2d(const Tensor& a);
 float dot(const Tensor& a, const Tensor& b);

@@ -94,6 +94,76 @@ std::vector<Shape> shapes_of(const TensorList& a) {
   return out;
 }
 
+TensorList PerExampleGrads::example(std::int64_t j) const {
+  FEDCL_CHECK(j >= 0 && j < batch) << "example " << j << " batch " << batch;
+  TensorList out;
+  out.reserve(rows.size());
+  for (std::size_t p = 0; p < rows.size(); ++p) {
+    Tensor t(shapes[p]);
+    const std::int64_t width = t.numel();
+    std::memcpy(t.data(), rows[p].data() + j * width,
+                sizeof(float) * static_cast<std::size_t>(width));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void PerExampleGrads::set_example(std::int64_t j, const TensorList& grads) {
+  FEDCL_CHECK(j >= 0 && j < batch) << "example " << j << " batch " << batch;
+  FEDCL_CHECK_EQ(grads.size(), rows.size());
+  for (std::size_t p = 0; p < rows.size(); ++p) {
+    const std::int64_t width = grads[p].numel();
+    FEDCL_CHECK_EQ(width, rows[p].numel() / batch);
+    std::memcpy(rows[p].data() + j * width, grads[p].data(),
+                sizeof(float) * static_cast<std::size_t>(width));
+  }
+}
+
+TensorList PerExampleGrads::mean() const {
+  FEDCL_CHECK_GT(batch, 0);
+  TensorList out;
+  out.reserve(rows.size());
+  const float inv = 1.0f / static_cast<float>(batch);
+  for (std::size_t p = 0; p < rows.size(); ++p) {
+    Tensor t(shapes[p]);
+    const std::int64_t width = t.numel();
+    const float* src = rows[p].data();
+    float* dst = t.data();
+    for (std::int64_t j = 0; j < batch; ++j) {
+      const float* row = src + j * width;
+      for (std::int64_t i = 0; i < width; ++i) dst[i] += row[i];
+    }
+    for (std::int64_t i = 0; i < width; ++i) dst[i] *= inv;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+double PerExampleGrads::example_l2_norm(std::int64_t j) const {
+  FEDCL_CHECK(j >= 0 && j < batch) << "example " << j << " batch " << batch;
+  double s = 0.0;
+  for (std::size_t p = 0; p < rows.size(); ++p) {
+    const std::int64_t width = rows[p].numel() / batch;
+    const float* row = rows[p].data() + j * width;
+    for (std::int64_t i = 0; i < width; ++i)
+      s += static_cast<double>(row[i]) * static_cast<double>(row[i]);
+  }
+  return std::sqrt(s);
+}
+
+PerExampleGrads make_per_example(std::int64_t batch,
+                                 std::vector<Shape> shapes) {
+  FEDCL_CHECK_GT(batch, 0);
+  PerExampleGrads out;
+  out.batch = batch;
+  out.shapes = std::move(shapes);
+  out.rows.reserve(out.shapes.size());
+  for (const Shape& s : out.shapes) {
+    out.rows.emplace_back(Shape{batch, shape_numel(s)});
+  }
+  return out;
+}
+
 bool allclose(const TensorList& a, const TensorList& b, float atol,
               float rtol) {
   if (a.size() != b.size()) return false;

@@ -35,4 +35,30 @@ std::vector<Shape> shapes_of(const TensorList& a);
 bool allclose(const TensorList& a, const TensorList& b, float atol = 1e-5f,
               float rtol = 1e-4f);
 
+// Batched per-example gradients: for each model parameter p, rows[p]
+// is a [B, numel(p)] matrix whose row j is example j's gradient of
+// that parameter, flattened. This is the layout the batched Fed-CDP
+// path works in — per-example clipping and noising operate on rows in
+// place, so no per-example TensorList is ever materialized.
+struct PerExampleGrads {
+  std::int64_t batch = 0;
+  // Original parameter shapes (row r of rows[p] reshapes to shapes[p]).
+  std::vector<Shape> shapes;
+  TensorList rows;
+
+  bool empty() const { return rows.empty(); }
+  // Example j's gradient as a TensorList in the original shapes (copy).
+  TensorList example(std::int64_t j) const;
+  // Overwrites example j's rows from a TensorList in original shapes.
+  void set_example(std::int64_t j, const TensorList& grads);
+  // Mean over examples, in the original parameter shapes.
+  TensorList mean() const;
+  // L2 norm of example j's gradient across all parameters.
+  double example_l2_norm(std::int64_t j) const;
+};
+
+// Zero-initialized batched layout for the given parameter shapes.
+PerExampleGrads make_per_example(std::int64_t batch,
+                                 std::vector<Shape> shapes);
+
 }  // namespace fedcl::tensor::list

@@ -206,5 +206,82 @@ TEST(ThreadPool, SubmitFuture) {
   EXPECT_EQ(x, 7);
 }
 
+TEST(ThreadPool, ExceptionWaitsForAllTasks) {
+  // Regression: the old implementation rethrew the first task's
+  // exception while later tasks could still be running, letting the
+  // callable (and any captured state) be destroyed under them. The
+  // rethrow must happen only after every task has finished.
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 0) throw Error("early");
+                          completed++;
+                        }),
+      Error);
+  // All 63 non-throwing tasks ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, ManyExceptionsPropagateExactlyOne) {
+  ThreadPool pool(4);
+  std::atomic<int> thrown{0};
+  try {
+    pool.parallel_for(32, [&](std::size_t) {
+      thrown++;
+      throw Error("each");
+    });
+    FAIL() << "expected an exception";
+  } catch (const Error&) {
+  }
+  EXPECT_EQ(thrown.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // parallel_for called from a worker of the same pool must run inline
+  // instead of enqueuing (which could deadlock a saturated pool).
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    pool.parallel_for(8, [&](std::size_t) { inner_total++; });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ThreadPool, ParallelForChunksCoversRangeOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for_chunks(100, 7, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LT(begin, end);
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksRespectsGrain) {
+  ThreadPool pool(8);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(20, 16, [&](std::size_t begin, std::size_t end) {
+    std::lock_guard<std::mutex> lock(m);
+    chunks.emplace_back(begin, end);
+  });
+  // grain 16 over 20 items allows at most ceil(20/16) = 2 chunks.
+  EXPECT_LE(chunks.size(), 2u);
+  std::size_t covered = 0;
+  for (const auto& [b, e] : chunks) covered += e - b;
+  EXPECT_EQ(covered, 20u);
+}
+
+TEST(ComputePool, SingletonIsShared) {
+  ThreadPool& a = compute_pool();
+  ThreadPool& b = compute_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
 }  // namespace
 }  // namespace fedcl
