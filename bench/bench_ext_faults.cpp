@@ -16,8 +16,10 @@
 #include "data/benchmarks.h"
 #include "fl/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedcl;
+  FlagParser flags(argc, argv);
+  bench::init_telemetry_from_flags(flags);
   bench::print_preamble(
       "bench_ext_faults",
       "extension: graceful degradation vs client fault rate");
@@ -83,27 +85,25 @@ int main() {
       "parallel — screening is orthogonal to the privacy mechanism.\n");
 
   // Machine-readable record of the sweep.
-  std::printf("\nbench_json = {\n  \"bench\": \"bench_ext_faults\",\n");
-  std::printf("  \"rounds\": %lld,\n  \"results\": [\n",
-              static_cast<long long>(rounds));
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const fl::RoundFailureStats& f = rows[i].result.total_failures;
-    std::printf(
-        "    {\"policy\": \"%s\", \"fault_rate\": %.2f, "
-        "\"final_accuracy\": %.6f, \"completed_rounds\": %lld, "
-        "\"dropped_rounds\": %lld, \"injected\": %lld, "
-        "\"rejected\": %lld, \"retried\": %lld, \"quorum_missed\": "
-        "%lld}%s\n",
-        rows[i].policy.c_str(), rows[i].fault_rate,
-        rows[i].result.final_accuracy,
-        static_cast<long long>(rows[i].result.completed_rounds),
-        static_cast<long long>(rows[i].result.dropped_rounds),
-        static_cast<long long>(f.injected_total()),
-        static_cast<long long>(f.rejected_total()),
-        static_cast<long long>(f.retried_clients),
-        static_cast<long long>(f.quorum_missed),
-        i + 1 < rows.size() ? "," : "");
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_ext_faults";
+  doc["rounds"] = rounds;
+  json::Value results = json::Value::array();
+  for (const Row& row : rows) {
+    const fl::RoundFailureStats& f = row.result.total_failures;
+    json::Value r = json::Value::object();
+    r["policy"] = row.policy;
+    r["fault_rate"] = row.fault_rate;
+    r["final_accuracy"] = row.result.final_accuracy;
+    r["completed_rounds"] = row.result.completed_rounds;
+    r["dropped_rounds"] = row.result.dropped_rounds;
+    r["injected"] = f.injected_total();
+    r["rejected"] = f.rejected_total();
+    r["retried"] = f.retried_clients;
+    r["quorum_missed"] = f.quorum_missed;
+    results.push_back(std::move(r));
   }
-  std::printf("  ]\n}\n");
+  doc["results"] = std::move(results);
+  bench::emit_bench_json("ext_faults", doc);
   return 0;
 }

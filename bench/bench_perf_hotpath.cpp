@@ -19,8 +19,14 @@
 // with more cores both rise, since the batched path threads its
 // matmuls and the trainer runs clients in parallel.
 //
+// Also measures the telemetry-on vs telemetry-off overhead of the
+// instrumented trainer round path (the number DESIGN.md §8 quotes):
+// --telemetry-out=FILE names the JSONL the telemetry-on leg writes
+// (default BENCH_perf_hotpath_telemetry.jsonl).
+//
 // Emits a machine-readable JSON document after the table and writes
 // the same document to BENCH_perf_hotpath.json for CI artifacts.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -33,6 +39,7 @@
 #include "core/policy.h"
 #include "data/dataset.h"
 #include "fl/client.h"
+#include "fl/trainer.h"
 #include "nn/model_zoo.h"
 #include "nn/per_example.h"
 #include "tensor/tensor.h"
@@ -161,7 +168,8 @@ EngineRow time_engine(const std::string& name, nn::Sequential& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
   bench::print_preamble(
       "bench_perf_hotpath",
       "perf: batched per-example gradient engine vs sliced baseline");
@@ -280,44 +288,91 @@ int main() {
       "parallel, while the sliced baseline's B-graph loop is inherently "
       "serial per example.\n");
 
-  // Machine-readable record, printed and saved for CI artifacts.
-  std::string json;
-  json += "{\n  \"bench\": \"bench_perf_hotpath\",\n";
-  json += "  \"batch_size\": " + std::to_string(dims.batch_size) + ",\n";
-  json += "  \"local_iterations\": " +
-          std::to_string(dims.local_iterations) + ",\n";
-  json += "  \"timed_rounds\": " + std::to_string(dims.timed_rounds) + ",\n";
-  json += "  \"threads\": " + std::to_string(compute_pool().size()) + ",\n";
-  json += "  \"results\": [\n";
-  char buf[256];
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"model\": \"%s\", \"policy\": \"%s\", "
-                  "\"per_example\": %s, \"sliced_ms\": %.3f, "
-                  "\"batched_ms\": %.3f, \"speedup\": %.2f}%s\n",
-                  r.model.c_str(), r.policy.c_str(),
-                  r.per_example ? "true" : "false", r.sliced_ms,
-                  r.batched_ms, r.speedup(), i + 1 < rows.size() ? "," : "");
-    json += buf;
-  }
-  json += "  ],\n  \"engine_only\": [\n";
-  for (std::size_t i = 0; i < engine_rows.size(); ++i) {
-    const EngineRow& r = engine_rows[i];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"model\": \"%s\", \"sliced_ms\": %.3f, "
-                  "\"batched_ms\": %.3f, \"speedup\": %.2f}%s\n",
-                  r.model.c_str(), r.sliced_ms, r.batched_ms, r.speedup(),
-                  i + 1 < engine_rows.size() ? "," : "");
-    json += buf;
-  }
-  json += "  ]\n}\n";
+  // ---- telemetry overhead on the instrumented trainer path ----
+  // The trainer is where telemetry concentrates (round/phase spans,
+  // per-round points, clip-counter reads), so the honest overhead
+  // number times a small end-to-end run_experiment with no sink vs
+  // with the JSONL sink attached. Instruments are always on in both
+  // legs; the delta is event serialization + file I/O.
+  fl::FlExperimentConfig ocfg;
+  ocfg.bench = data::benchmark_config(data::BenchmarkId::kCancer);
+  ocfg.total_clients = 4;
+  ocfg.clients_per_round = 2;
+  ocfg.rounds = bench_scale() == BenchScale::kSmoke ? 3 : 10;
+  ocfg.eval_every = 1;
+  ocfg.seed = experiment_seed();
+  const core::PrivacyPolicy& opolicy = *policies.fed_cdp;
+  const int overhead_reps = std::max(2, dims.timed_rounds);
+  auto time_experiments = [&]() {
+    using Clock = std::chrono::steady_clock;
+    (void)fl::run_experiment(ocfg, opolicy);  // warmup
+    const auto start = Clock::now();
+    for (int r = 0; r < overhead_reps; ++r) {
+      (void)fl::run_experiment(ocfg, opolicy);
+    }
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+               .count() /
+           overhead_reps;
+  };
+  telemetry::Registry& registry = telemetry::global_registry();
+  registry.clear_sinks();
+  const double telemetry_off_ms = time_experiments();
+  const std::string telemetry_path =
+      flags.get("telemetry-out", "BENCH_perf_hotpath_telemetry.jsonl");
+  registry.add_sink(std::make_unique<telemetry::JsonlSink>(telemetry_path));
+  const double telemetry_on_ms = time_experiments();
+  registry.flush_sinks();
+  registry.clear_sinks();
+  const double overhead_pct =
+      telemetry_off_ms > 0.0
+          ? (telemetry_on_ms - telemetry_off_ms) / telemetry_off_ms * 100.0
+          : 0.0;
+  std::printf(
+      "\ntelemetry overhead (run_experiment, cancer K=%lld Kt=%lld "
+      "T=%lld, Fed-CDP, %d reps):\n  off %.2f ms | on (JSONL sink) "
+      "%.2f ms | overhead %+.2f%%  (JSONL: %s)\n",
+      static_cast<long long>(ocfg.total_clients),
+      static_cast<long long>(ocfg.clients_per_round),
+      static_cast<long long>(ocfg.rounds), overhead_reps, telemetry_off_ms,
+      telemetry_on_ms, overhead_pct, telemetry_path.c_str());
 
-  std::printf("\nbench_json = %s", json.c_str());
-  if (std::FILE* f = std::fopen("BENCH_perf_hotpath.json", "w")) {
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    std::printf("wrote BENCH_perf_hotpath.json\n");
+  // Machine-readable record, printed and saved for CI artifacts.
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_perf_hotpath";
+  doc["batch_size"] = dims.batch_size;
+  doc["local_iterations"] = dims.local_iterations;
+  doc["timed_rounds"] = dims.timed_rounds;
+  doc["threads"] = static_cast<std::int64_t>(compute_pool().size());
+  json::Value results = json::Value::array();
+  for (const Row& r : rows) {
+    json::Value row = json::Value::object();
+    row["model"] = r.model;
+    row["policy"] = r.policy;
+    row["per_example"] = r.per_example;
+    row["sliced_ms"] = r.sliced_ms;
+    row["batched_ms"] = r.batched_ms;
+    row["speedup"] = r.speedup();
+    results.push_back(std::move(row));
   }
+  doc["results"] = std::move(results);
+  json::Value engine_only = json::Value::array();
+  for (const EngineRow& r : engine_rows) {
+    json::Value row = json::Value::object();
+    row["model"] = r.model;
+    row["sliced_ms"] = r.sliced_ms;
+    row["batched_ms"] = r.batched_ms;
+    row["speedup"] = r.speedup();
+    engine_only.push_back(std::move(row));
+  }
+  doc["engine_only"] = std::move(engine_only);
+  json::Value overhead = json::Value::object();
+  overhead["config"] = "cancer K=4 Kt=2 Fed-CDP";
+  overhead["rounds"] = ocfg.rounds;
+  overhead["reps"] = overhead_reps;
+  overhead["telemetry_off_ms"] = telemetry_off_ms;
+  overhead["telemetry_on_ms"] = telemetry_on_ms;
+  overhead["overhead_pct"] = overhead_pct;
+  doc["telemetry_overhead"] = std::move(overhead);
+  bench::emit_bench_json("perf_hotpath", doc);
   return 0;
 }

@@ -13,7 +13,10 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/flags.h"
+#include "common/json.h"
 #include "common/table.h"
+#include "common/telemetry.h"
 #include "core/policy.h"
 #include "data/benchmarks.h"
 
@@ -77,5 +80,36 @@ inline void print_preamble(const char* bench_name, const char* paper_ref) {
 }
 
 inline std::string yes_no(bool v) { return v ? "Y" : "N"; }
+
+// Attaches a JSONL telemetry sink to the global registry when the
+// bench was invoked with --telemetry-out=FILE (every bench accepts the
+// flag; fl_simulator shares the same spelling).
+inline void init_telemetry_from_flags(const FlagParser& flags) {
+  const std::string path = flags.get("telemetry-out", "");
+  if (path.empty()) return;
+  auto sink = std::make_unique<telemetry::JsonlSink>(path);
+  if (!sink->ok()) {
+    std::fprintf(stderr, "cannot open --telemetry-out file '%s'\n",
+                 path.c_str());
+    return;
+  }
+  telemetry::global_registry().add_sink(std::move(sink));
+}
+
+// Machine-readable record: prints `doc` after the tables and writes it
+// to BENCH_<name>.json for CI artifacts. `doc` should already carry a
+// "bench" field; benches build it with json::Value instead of
+// hand-rolled string concatenation.
+inline void emit_bench_json(const std::string& bench_name,
+                            const json::Value& doc) {
+  const std::string text = doc.dump(2) + "\n";
+  std::printf("\nbench_json = %s", text.c_str());
+  const std::string path = "BENCH_" + bench_name + ".json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
 
 }  // namespace fedcl::bench

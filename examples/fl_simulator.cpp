@@ -10,6 +10,7 @@
 //   fl_simulator --dataset=mnist --policy=non-private --prune=0.3 \
 //                --save=global.ckpt
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -17,6 +18,7 @@
 #include "common/env.h"
 #include "common/error.h"
 #include "common/flags.h"
+#include "common/telemetry.h"
 #include "core/accounting.h"
 #include "core/policy.h"
 #include "data/benchmarks.h"
@@ -69,7 +71,8 @@ void print_usage(const char* program) {
       "          [--server-momentum=M] [--weight-by-size] [--attack]\n"
       "          [--seed=N] [--eval-every=N]\n"
       "          [--fault-rate=P] [--min-reporting=N] [--no-retry]\n"
-      "          [--screen-outlier=F] [--screen-max-norm=C]\n",
+      "          [--screen-outlier=F] [--screen-max-norm=C]\n"
+      "          [--telemetry-out=FILE.jsonl] [--telemetry-prom=FILE.prom]\n",
       program);
 }
 
@@ -103,6 +106,14 @@ int main(int argc, char** argv) {
       flags.get_double("screen-outlier", 0.0);
   config.screening.max_update_norm =
       flags.get_double("screen-max-norm", 0.0);
+
+  const std::string telemetry_out = flags.get("telemetry-out", "");
+  if (!telemetry_out.empty()) {
+    auto sink = std::make_unique<telemetry::JsonlSink>(telemetry_out);
+    FEDCL_CHECK(sink->ok()) << "cannot open --telemetry-out file '"
+                            << telemetry_out << "'";
+    telemetry::global_registry().add_sink(std::move(sink));
+  }
 
   const double sigma =
       flags.get_double("sigma", data::default_noise_scale());
@@ -185,6 +196,15 @@ int main(int argc, char** argv) {
     std::printf("type-2:   %s (distance %.4f, %.0f iters)\n",
                 leak.type2.any_success ? "LEAKS" : "resists",
                 leak.type2.mean_distance, leak.type2.mean_iterations);
+  }
+
+  telemetry::global_registry().flush_sinks();
+  const std::string telemetry_prom = flags.get("telemetry-prom", "");
+  if (!telemetry_prom.empty()) {
+    std::ofstream prom(telemetry_prom);
+    FEDCL_CHECK(prom.good()) << "cannot open --telemetry-prom file '"
+                             << telemetry_prom << "'";
+    prom << telemetry::global_registry().prometheus_text();
   }
   return 0;
 }

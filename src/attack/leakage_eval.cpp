@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "fl/client.h"
@@ -18,6 +19,25 @@ namespace {
 
 void accumulate(LeakageOutcome& outcome, AttackResult result) {
   outcome.per_client.push_back(std::move(result));
+}
+
+// Per-client reconstruction quality into the global registry: the RMSE
+// series is the telemetry face of the paper's attack-success metric
+// (low RMSE = high leakage).
+void record_attack(const char* type, const std::string& policy_name,
+                   std::int64_t client, const AttackResult& result) {
+  auto& registry = telemetry::global_registry();
+  const telemetry::Labels labels{{"policy", policy_name}, {"type", type}};
+  registry
+      .histogram("attack.reconstruction_rmse", telemetry::norm_buckets(),
+                 labels)
+      .observe(result.reconstruction_distance);
+  registry.record_point("attack.reconstruction_rmse", client,
+                        result.reconstruction_distance, labels);
+  registry.counter("attack.attempts_total", labels).add(1);
+  if (result.success) {
+    registry.counter("attack.successes_total", labels).add(1);
+  }
 }
 
 void finalize(LeakageOutcome& outcome) {
@@ -88,16 +108,18 @@ LeakageReport evaluate_leakage(const LeakageExperimentConfig& config,
     tensor::list::scale_(
         observed01,
         static_cast<float>(-1.0 / config.bench.learning_rate));
-    accumulate(report.type01,
-               attacker.run(observed01, probe.first_batch.x.shape(),
-                            probe.first_batch.labels, probe.first_batch.x));
+    AttackResult result01 =
+        attacker.run(observed01, probe.first_batch.x.shape(),
+                     probe.first_batch.labels, probe.first_batch.x);
+    record_attack("type01", policy.name(), ci, result01);
+    accumulate(report.type01, std::move(result01));
 
     // ---- type-2: per-example gradient during local training ----
-    accumulate(report.type2,
-               attacker.run(probe.type2_observed,
-                            probe.type2_example.x.shape(),
-                            probe.type2_example.labels,
-                            probe.type2_example.x));
+    AttackResult result2 = attacker.run(
+        probe.type2_observed, probe.type2_example.x.shape(),
+        probe.type2_example.labels, probe.type2_example.x);
+    record_attack("type2", policy.name(), ci, result2);
+    accumulate(report.type2, std::move(result2));
   }
   finalize(report.type01);
   finalize(report.type2);

@@ -1,0 +1,371 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fedcl::json {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+Value& Value::operator[](const std::string& key) {
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(key, Value());
+  return members_.back().second;
+}
+
+const Value* Value::find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string number_repr(double d, std::int64_t i, bool is_int) {
+  if (is_int) return std::to_string(i);
+  // NaN/Inf have no JSON representation; null is the conventional
+  // stand-in and keeps downstream parsers alive.
+  if (!std::isfinite(d)) return "null";
+  char buf[32];
+  // %.17g round-trips any double; trim to the shortest form that does.
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+             : std::string();
+  const std::string close_pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+             : std::string();
+  const char* nl = pretty ? "\n" : "";
+  const char* colon = pretty ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      out += number_repr(number_, int_, is_int_);
+      break;
+    case Kind::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += pad;
+        out += '"';
+        out += escape(members_[i].first);
+        out += '"';
+        out += colon;
+        members_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        out += pad;
+        elements_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < elements_.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool run(Value& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (error_ != nullptr) {
+      *error_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Value& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Value(std::move(s));
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out = Value();
+      return true;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out = Value(true);
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out = Value(false);
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"':
+        case '\\':
+        case '/':
+          out += c;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by this library's writer).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string repr = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    if (integral) {
+      const long long i = std::strtoll(repr.c_str(), &end, 10);
+      if (end == repr.c_str() + repr.size()) {
+        out = Value(static_cast<std::int64_t>(i));
+        return true;
+      }
+    }
+    const double d = std::strtod(repr.c_str(), &end);
+    if (end != repr.c_str() + repr.size()) return fail("bad number");
+    out = Value(d);
+    return true;
+  }
+
+  bool parse_object(Value& out) {
+    consume('{');
+    out = Value::object();
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out[key] = std::move(v);
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Value& out) {
+    consume('[');
+    out = Value::array();
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value& out, std::string* error) {
+  return Parser(text, error).run(out);
+}
+
+}  // namespace fedcl::json

@@ -1,7 +1,14 @@
-// Minimal leveled logger. Thread-safe line output to stderr.
+// Minimal leveled logger. Thread-safe line output to stderr, and every
+// line that passes the level filter is also routed through the
+// telemetry sink interface (common/telemetry.h), so a JSONL run
+// captures WARN/ERROR events interleaved with metric events in
+// emission order.
+//
+// The minimum level defaults to Info and can be set at startup with
+// the FEDCL_LOG environment variable (debug|info|warn|error) or at
+// runtime with set_log_level().
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -12,6 +19,8 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 // Global minimum level; messages below it are discarded.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+const char* log_level_name(LogLevel level);
 
 namespace detail {
 

@@ -1,0 +1,297 @@
+// First-class observability for the federated training stack.
+//
+// Two complementary surfaces (see docs/METRICS.md for the full metric
+// reference and DESIGN.md §8 for the architecture):
+//
+//  1. Aggregate instruments — thread-safe counters, gauges, and
+//     histograms with labeled series, registered in a process-wide
+//     Registry. These are the passive substrate: updating one is a
+//     handful of atomic operations, cheap enough for the training hot
+//     path, and they cost nothing to read until a snapshot or a
+//     Prometheus-style text dump is requested.
+//
+//  2. An event stream — spans (RAII-timed phases), points (a value at
+//     a step, e.g. cumulative epsilon per round), and log lines —
+//     delivered in call order to attached Sinks. The JSONL sink writes
+//     one JSON object per event; with no sink attached the stream
+//     costs one relaxed atomic load per potential event.
+//
+// Everything in the repo records into the global registry: the trainer
+// emits round/phase spans and per-round points, the DP policies count
+// clip decisions, update screening counts rejections per reason, the
+// accountant wiring gauges cumulative (epsilon, delta), and the attack
+// harness records reconstruction RMSE. run_experiment() resets the
+// registry's aggregates at the start of each run (attached sinks and
+// instrument references stay valid) and returns a TelemetrySnapshot,
+// so tests can assert on observed behavior.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fedcl::telemetry {
+
+// Label sets are small ordered key/value lists; they are canonicalized
+// (sorted by key) on registration so {a,b} and {b,a} name one series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// ---------------------------------------------------------------------------
+// Instruments
+
+class Counter {
+ public:
+  void add(std::int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  // `bounds` are the inclusive upper edges of the finite buckets, in
+  // increasing order; one overflow bucket is implicit.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  void reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // counts().size() == bounds().size() + 1 (last = overflow).
+  std::vector<std::int64_t> counts() const;
+  std::int64_t count() const;
+  double sum() const;
+  double min() const;  // +inf when empty
+  double max() const;  // -inf when empty
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exponentially spaced bucket bounds: start, start*factor, ... (count
+// edges). The conventional shape for norms and durations.
+std::vector<double> exponential_buckets(double start, double factor,
+                                        int count);
+// Default bucket sets used across the stack (documented in METRICS.md).
+const std::vector<double>& duration_ms_buckets();
+const std::vector<double>& norm_buckets();
+
+// ---------------------------------------------------------------------------
+// Event stream
+
+struct Event {
+  enum class Kind { kSpan, kPoint, kLog };
+  Kind kind = Kind::kPoint;
+  std::string name;     // span/point: metric name; log: unused
+  Labels labels;
+  double t_ms = 0.0;    // ms since registry creation (event emit time)
+  std::int64_t step = -1;  // round/iteration index; -1 = not stepped
+  double value = 0.0;   // point: the value; span: duration in ms
+  std::string level;    // log only: DEBUG/INFO/WARN/ERROR
+  std::string message;  // log only
+};
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  // Called in event order under the registry's sink lock — implementors
+  // need no further synchronization.
+  virtual void write(const Event& event) = 0;
+  virtual void flush() {}
+};
+
+// One JSON object per line (see docs/telemetry.schema.json):
+//   {"type":"meta","version":1,...}          — first line
+//   {"type":"span","name":...,"dur_ms":...}
+//   {"type":"point","name":...,"value":...}
+//   {"type":"log","level":...,"message":...}
+class JsonlSink final : public Sink {
+ public:
+  // Opens (truncates) `path` and writes the meta line.
+  explicit JsonlSink(const std::string& path);
+  // Test form: writes to a caller-owned stream.
+  explicit JsonlSink(std::ostream* out);
+  ~JsonlSink() override;
+
+  bool ok() const { return out_ != nullptr; }
+  void write(const Event& event) override;
+  void flush() override;
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot
+
+struct SeriesPoint {
+  std::int64_t step = 0;
+  double value = 0.0;
+};
+
+struct CounterSample {
+  std::string name;
+  Labels labels;
+  std::int64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  Labels labels;
+  std::vector<double> bounds;
+  std::vector<std::int64_t> counts;  // bounds.size() + 1 entries
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct SeriesSample {
+  std::string name;
+  Labels labels;
+  std::vector<SeriesPoint> points;
+};
+
+// A consistent copy of every instrument and recorded point series,
+// ordered by (name, labels). FlRunResult carries one per run.
+struct TelemetrySnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+  std::vector<SeriesSample> series;
+
+  // Lookup helpers (exact label match). Missing => 0 / NaN / nullptr /
+  // empty.
+  std::int64_t counter_value(const std::string& name,
+                             const Labels& labels = {}) const;
+  double gauge_value(const std::string& name, const Labels& labels = {}) const;
+  const HistogramSample* find_histogram(const std::string& name,
+                                        const Labels& labels = {}) const;
+  std::vector<SeriesPoint> series_points(const std::string& name,
+                                         const Labels& labels = {}) const;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Instrument lookup-or-create. References stay valid for the
+  // registry's lifetime (reset() zeroes values, never invalidates).
+  // A histogram's bounds are fixed by its first registration.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const Labels& labels = {});
+
+  // Records (step, value) into the named point series and emits a
+  // kPoint event to the sinks.
+  void record_point(const std::string& name, std::int64_t step, double value,
+                    const Labels& labels = {});
+
+  // Emits a kSpan event (SpanTimer calls this; the duration histogram
+  // `<name>.duration_ms` is updated by SpanTimer itself).
+  void emit_span(const std::string& name, double dur_ms, std::int64_t step,
+                 const Labels& labels);
+
+  // Emits a kLog event. The logging module routes every line that
+  // passes its level filter through here, so JSONL runs capture
+  // WARN/ERROR interleaved with metrics in emission order.
+  void log_line(const std::string& level, const std::string& message);
+
+  void add_sink(std::unique_ptr<Sink> sink);
+  void clear_sinks();
+  bool has_sinks() const {
+    return has_sinks_.load(std::memory_order_relaxed);
+  }
+  void flush_sinks();
+
+  // Milliseconds since this registry was created (steady clock).
+  double now_ms() const;
+
+  // Caps distinct label sets per metric name; beyond it, updates are
+  // folded into an {"overflow","true"} series and a WARN is logged
+  // once per metric (runaway label cardinality stays bounded).
+  void set_series_limit(std::size_t limit);
+
+  TelemetrySnapshot snapshot() const;
+
+  // Prometheus text exposition of counters/gauges/histograms. Dots and
+  // dashes in names become underscores, prefixed "fedcl_".
+  std::string prometheus_text() const;
+
+  // Zeroes all instruments and clears point series. Sinks, instrument
+  // identities, and outstanding references are untouched.
+  void reset();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::atomic<bool> has_sinks_{false};
+};
+
+// Process-wide registry every module records into.
+Registry& global_registry();
+
+// ---------------------------------------------------------------------------
+// Spans
+
+// RAII phase timer: on destruction observes the elapsed ms into the
+// histogram `<name>.duration_ms` (with the same labels) and, when a
+// sink is attached, emits a kSpan event.
+class SpanTimer {
+ public:
+  SpanTimer(Registry& registry, std::string name, Labels labels = {},
+            std::int64_t step = -1);
+  ~SpanTimer();
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  Registry& registry_;
+  std::string name_;
+  Labels labels_;
+  std::int64_t step_;
+  double start_ms_;
+};
+
+}  // namespace fedcl::telemetry

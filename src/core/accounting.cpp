@@ -45,4 +45,31 @@ PrivacyReport account_privacy(const FlPrivacySetup& setup) {
   return report;
 }
 
+PrivacyRoundSeries epsilon_round_series(const FlPrivacySetup& setup) {
+  FEDCL_CHECK_GT(setup.total_examples, 0);
+  FEDCL_CHECK_GT(setup.batch_size, 0);
+  FEDCL_CHECK_GT(setup.clients_per_round, 0);
+  FEDCL_CHECK_GE(setup.total_clients, setup.clients_per_round);
+  FEDCL_CHECK_GT(setup.local_iterations, 0);
+  FEDCL_CHECK_GT(setup.rounds, 0);
+  FEDCL_CHECK_GT(setup.noise_scale, 0.0);
+
+  const double instance_q =
+      static_cast<double>(setup.batch_size * setup.clients_per_round) /
+      static_cast<double>(setup.total_examples);
+  const double client_q = static_cast<double>(setup.clients_per_round) /
+                          static_cast<double>(setup.total_clients);
+  FEDCL_CHECK_LE(instance_q, 1.0) << "B*Kt exceeds the global dataset size";
+
+  dp::MomentsAccountant instance_acc(instance_q, setup.noise_scale);
+  dp::MomentsAccountant client_acc(client_q, setup.noise_scale);
+
+  PrivacyRoundSeries series;
+  series.instance_epsilon = instance_acc.epsilon_series(
+      setup.local_iterations, setup.rounds, setup.delta);
+  series.client_epsilon =
+      client_acc.epsilon_series(1, setup.rounds, setup.delta);
+  return series;
+}
+
 }  // namespace fedcl::core

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace fedcl::core {
 
@@ -48,5 +49,17 @@ struct PrivacyReport {
 };
 
 PrivacyReport account_privacy(const FlPrivacySetup& setup);
+
+// Cumulative privacy budget round by round: element t is the budget
+// spent after rounds 1..t+1. The values are bitwise identical to
+// calling account_privacy with rounds = t+1 (the accountant's RDP is
+// linear in steps), but computed in one pass — this is what the
+// trainer's dp.epsilon telemetry series records each round.
+struct PrivacyRoundSeries {
+  std::vector<double> instance_epsilon;  // Fed-CDP, q = B*Kt/N, L steps/round
+  std::vector<double> client_epsilon;    // Fed-SDP, q = Kt/K, 1 step/round
+};
+
+PrivacyRoundSeries epsilon_round_series(const FlPrivacySetup& setup);
 
 }  // namespace fedcl::core

@@ -1,11 +1,34 @@
 #include "core/policy.h"
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 
 namespace fedcl::core {
+
+namespace {
+
+// Folds one sanitize call's clip decisions into the global telemetry
+// counters. Pure counter arithmetic — never touches the RNG — so
+// telemetry cannot perturb the policies' noise streams.
+void count_clipped_groups(const std::string& policy,
+                          const std::vector<double>& norms, double bound) {
+  std::int64_t clipped = 0;
+  for (double norm : norms) {
+    if (norm > bound) ++clipped;
+  }
+  auto& registry = telemetry::global_registry();
+  const telemetry::Labels labels{{"policy", policy}};
+  registry.counter("dp.clip.groups_total", labels)
+      .add(static_cast<std::int64_t>(norms.size()));
+  registry.counter("dp.clip.groups_clipped_total", labels).add(clipped);
+}
+
+}  // namespace
 
 void PrivacyPolicy::sanitize_per_example(TensorList&, const ParamGroups&,
                                          std::int64_t, Rng&) const {}
@@ -41,7 +64,14 @@ void FedSdpPolicy::sanitize_client_update(TensorList& update,
                                           std::int64_t /*round*/,
                                           Rng& rng) const {
   // Algorithm 1 lines 6-11: clip the per-client update layer by layer.
-  dp::clip_per_layer(update, groups, clip_);
+  const std::vector<double> norms = dp::clip_per_layer(update, groups, clip_);
+  bool any_clipped = false;
+  for (double norm : norms) any_clipped = any_clipped || norm > clip_;
+  auto& registry = telemetry::global_registry();
+  const telemetry::Labels labels{{"policy", name()}};
+  registry.counter("dp.clip.updates_total", labels).add(1);
+  registry.counter("dp.clip.updates_clipped_total", labels)
+      .add(any_clipped ? 1 : 0);
   if (!noise_at_server_) {
     // Line 13 executed at the client: noise before the update leaves
     // the device, protecting both type-0 and type-1 observation points.
@@ -121,7 +151,8 @@ void FedCdpPolicy::sanitize_per_example(TensorList& grad,
   const double c = schedule_.bound_at(round);
   const ParamGroups clip_groups =
       effective_groups(granularity_, groups, grad.size());
-  dp::clip_per_layer(grad, clip_groups, c);
+  const std::vector<double> norms = dp::clip_per_layer(grad, clip_groups, c);
+  count_clipped_groups(name(), norms, c);
   dp::GaussianMechanism mechanism(sigma_, c);
   mechanism.sanitize(grad, rng);
 }
@@ -135,7 +166,9 @@ void FedCdpPolicy::sanitize_per_example_batch(
   const double c = schedule_.bound_at(round);
   const ParamGroups clip_groups =
       effective_groups(granularity_, groups, grads.rows.size());
-  dp::clip_per_example_per_layer(grads, clip_groups, c);
+  const std::vector<double> norms =
+      dp::clip_per_example_per_layer(grads, clip_groups, c);
+  count_clipped_groups(name(), norms, c);
   dp::GaussianMechanism mechanism(sigma_, c);
   mechanism.sanitize_per_example(grads, rng);
 }
@@ -166,6 +199,7 @@ void FedCdpAdaptivePolicy::sanitize_per_example(TensorList& grad,
   }
   // Clip at the current median-of-norms bound...
   const std::vector<double> norms = dp::clip_per_layer(grad, groups, bound);
+  count_clipped_groups(name(), norms, bound);
   dp::GaussianMechanism mechanism(sigma_, bound);
   mechanism.sanitize(grad, rng);
   // ...then fold this example's pre-clip norms into the estimator for
@@ -184,6 +218,8 @@ void FedCdpAdaptivePolicy::sanitize_per_example_batch(
   // batched form keeps the example-major loop but works on rows in
   // place instead of materializing per-example TensorLists.
   const std::int64_t batch = grads.batch;
+  std::int64_t groups_seen = 0;
+  std::int64_t groups_clipped = 0;
   for (std::int64_t j = 0; j < batch; ++j) {
     double bound = initial_bound_;
     {
@@ -208,7 +244,9 @@ void FedCdpAdaptivePolicy::sanitize_per_example_batch(
       }
       const double norm = std::sqrt(joint);
       norms.push_back(norm);
+      ++groups_seen;
       if (norm > bound) {
+        ++groups_clipped;
         const float scale = static_cast<float>(bound / norm);
         for (std::size_t p : group) {
           const std::int64_t width = grads.rows[p].numel() / batch;
@@ -231,6 +269,10 @@ void FedCdpAdaptivePolicy::sanitize_per_example_batch(
       if (norm > 0.0) estimator_.observe(norm);
     }
   }
+  auto& registry = telemetry::global_registry();
+  const telemetry::Labels labels{{"policy", name()}};
+  registry.counter("dp.clip.groups_total", labels).add(groups_seen);
+  registry.counter("dp.clip.groups_clipped_total", labels).add(groups_clipped);
 }
 
 std::unique_ptr<PrivacyPolicy> make_non_private() {

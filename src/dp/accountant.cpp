@@ -97,6 +97,46 @@ double MomentsAccountant::epsilon(std::int64_t steps, double delta,
   return epsilon_with_order(steps, delta, conversion).first;
 }
 
+std::vector<double> MomentsAccountant::epsilon_series(
+    std::int64_t steps_per_unit, std::int64_t units, double delta,
+    RdpConversion conversion) const {
+  FEDCL_CHECK_GE(steps_per_unit, 0);
+  FEDCL_CHECK_GE(units, 0);
+  FEDCL_CHECK(delta > 0.0 && delta < 1.0) << "delta " << delta;
+  std::vector<double> series(static_cast<std::size_t>(units), 0.0);
+  if (units == 0 || steps_per_unit == 0 || q_ == 0.0) return series;
+  // One-step RDP per order, computed once; composition is linear in
+  // steps, so each unit's epsilon below reproduces epsilon_with_order
+  // term for term (same expressions, same rounding).
+  std::vector<double> rdp_one(static_cast<std::size_t>(max_order_ + 1), 0.0);
+  for (int alpha = 2; alpha <= max_order_; ++alpha) {
+    rdp_one[static_cast<std::size_t>(alpha)] = rdp_one_step(alpha);
+  }
+  const double log_inv_delta = std::log(1.0 / delta);
+  for (std::int64_t t = 0; t < units; ++t) {
+    const std::int64_t steps = (t + 1) * steps_per_unit;
+    double best_eps = std::numeric_limits<double>::infinity();
+    for (int alpha = 2; alpha <= max_order_; ++alpha) {
+      const double rdp = rdp_one[static_cast<std::size_t>(alpha)] *
+                         static_cast<double>(steps);
+      double eps = 0.0;
+      switch (conversion) {
+        case RdpConversion::kClassic:
+          eps = rdp + log_inv_delta / (alpha - 1);
+          break;
+        case RdpConversion::kImproved:
+          eps = rdp + std::log((alpha - 1.0) / alpha) +
+                (log_inv_delta - std::log(static_cast<double>(alpha))) /
+                    (alpha - 1);
+          break;
+      }
+      best_eps = std::min(best_eps, eps);
+    }
+    series[static_cast<std::size_t>(t)] = std::max(0.0, best_eps);
+  }
+  return series;
+}
+
 double abadi_bound_epsilon(double q, double sigma, std::int64_t steps,
                            double delta, double c2) {
   FEDCL_CHECK(q >= 0.0 && q <= 1.0);

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 namespace fedcl::dp {
 
@@ -53,6 +54,16 @@ class MomentsAccountant {
       RdpConversion conversion = RdpConversion::kClassic) const;
   double epsilon(std::int64_t steps, double delta,
                  RdpConversion conversion = RdpConversion::kClassic) const;
+
+  // Cumulative epsilon after 1..units composition units of
+  // `steps_per_unit` steps each — element t equals
+  // epsilon((t+1) * steps_per_unit, delta) exactly, but the per-order
+  // RDP is computed once instead of per unit. This is the per-round
+  // privacy-budget series the trainer's telemetry records (RDP is
+  // linear in steps, so precomputing one step per order is lossless).
+  std::vector<double> epsilon_series(
+      std::int64_t steps_per_unit, std::int64_t units, double delta,
+      RdpConversion conversion = RdpConversion::kClassic) const;
 
  private:
   double q_;

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "nn/grad_utils.h"
 #include "nn/optimizer.h"
 #include "nn/per_example.h"
@@ -49,6 +50,21 @@ ClientRoundOutcome Client::run_round(nn::Sequential& model,
   nn::SgdOptimizer optimizer(config_.learning_rate_at(round));
 
   ClientRoundOutcome outcome;
+
+  // Which gradient engine this round actually runs on: the batched
+  // per-example engine, the sliced B-graph fallback, or the plain
+  // batch backward for policies that never look at per-example grads.
+  const char* engine = "batch";
+  if (policy.needs_per_example_gradients()) {
+    const bool batched =
+        nn::per_example_mode() == nn::PerExampleMode::kBatched ||
+        (nn::per_example_mode() == nn::PerExampleMode::kAuto &&
+         nn::per_example_supported(model));
+    engine = batched ? "batched" : "sliced";
+  }
+  telemetry::global_registry()
+      .counter("fl.client.rounds_total", {{"engine", engine}})
+      .add(1);
 
   for (std::int64_t l = 0; l < config_.local_iterations; ++l) {
     data::Batch batch = data_.sample_batch(rng, config_.batch_size);
@@ -106,6 +122,13 @@ ClientRoundOutcome Client::run_round(nn::Sequential& model,
   TensorList delta = model.weights();
   tensor::list::add_(delta, global_weights, -1.0f);
   policy.sanitize_client_update(delta, groups, round, rng);
+
+  // Pre-sanitization first-iteration batch gradient norm — the
+  // quantity the paper's clipping bound C is calibrated against.
+  telemetry::global_registry()
+      .histogram("fl.client.grad_norm", telemetry::norm_buckets(),
+                 {{"policy", policy.name()}})
+      .observe(outcome.first_iteration_grad_norm);
 
   outcome.update.client_id = id_;
   outcome.update.round = round;

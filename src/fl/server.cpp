@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "tensor/shape.h"
 
 namespace fedcl::fl {
@@ -78,7 +79,15 @@ ScreeningReport Server::aggregate(std::vector<ClientUpdate> updates,
     tensor::list::add_(weights_, mean_delta, 1.0f);
   }
   ++round_;
+  telemetry::global_registry()
+      .counter("fl.server.updates_accepted_total")
+      .add(report.accepted);
   return report;
+}
+
+void Server::skip_round() {
+  ++round_;
+  telemetry::global_registry().counter("fl.server.rounds_skipped_total").add(1);
 }
 
 }  // namespace fedcl::fl

@@ -63,7 +63,7 @@ class Server {
 
   // Advances the round without an update (e.g. every sampled client
   // dropped out — the unstable-availability case of [2]).
-  void skip_round() { ++round_; }
+  void skip_round();
 
  private:
   TensorList weights_;

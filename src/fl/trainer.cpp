@@ -2,10 +2,13 @@
 
 #include <cmath>
 #include <memory>
+#include <optional>
+#include <utility>
 
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
@@ -108,11 +111,58 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
                  .min_reporting = config.min_reporting});
   const FaultPlan plan(config.faults, config.seed);
 
+  // One run owns the process-global registry: zero the aggregates so
+  // the snapshot this run returns describes this run only (attached
+  // sinks and outstanding instrument references survive the reset).
+  telemetry::Registry& registry = telemetry::global_registry();
+  registry.reset();
+
   FlRunResult result;
+  result.privacy_setup = {
+      .total_examples = train->size(),
+      .batch_size = config.bench.batch_size,
+      .clients_per_round = config.clients_per_round,
+      .total_clients = config.total_clients,
+      .local_iterations = local_iterations,
+      .rounds = rounds,
+      .noise_scale = config.noise_scale,
+      .delta = config.delta,
+  };
+  // Cumulative per-round privacy budget, precomputed in one accountant
+  // pass (bitwise identical to calling epsilon() after every round).
+  // Skipped when the setup falls outside the accountant's domain
+  // (sigma <= 0, or B*Kt exceeding the dataset).
+  core::PrivacyRoundSeries eps_series;
+  const double instance_q =
+      static_cast<double>(config.bench.batch_size * config.clients_per_round) /
+      static_cast<double>(train->size());
+  if (config.noise_scale > 0.0 && instance_q <= 1.0) {
+    eps_series = core::epsilon_round_series(result.privacy_setup);
+    registry.gauge("dp.delta").set(config.delta);
+  }
+
   double total_ms = 0.0;
   std::int64_t total_local_iters = 0;
 
+  const telemetry::Labels policy_labels{{"policy", policy.name()}};
+  // Clip-decision totals are counted inside the policies; the delta
+  // across one round gives that round's clip fraction without the
+  // policies having to know about rounds.
+  auto clip_totals = [&registry, &policy_labels]() {
+    const std::int64_t total =
+        registry.counter("dp.clip.groups_total", policy_labels).value() +
+        registry.counter("dp.clip.updates_total", policy_labels).value();
+    const std::int64_t clipped =
+        registry.counter("dp.clip.groups_clipped_total", policy_labels)
+            .value() +
+        registry.counter("dp.clip.updates_clipped_total", policy_labels)
+            .value();
+    return std::pair<std::int64_t, std::int64_t>(total, clipped);
+  };
+
   for (std::int64_t t = 0; t < rounds; ++t) {
+    telemetry::SpanTimer round_span(registry, "fl.round", {}, t);
+    const std::pair<std::int64_t, std::int64_t> clip_before = clip_totals();
     Rng sample_rng = round_rng.fork("sample", static_cast<std::uint64_t>(t));
     std::vector<std::size_t> chosen = server.sample_clients(
         clients.size(), static_cast<std::size_t>(config.clients_per_round),
@@ -266,6 +316,9 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
       deliver_attempts(attempts);
     };
 
+    std::optional<telemetry::SpanTimer> local_train_span;
+    local_train_span.emplace(registry, "fl.phase",
+                             telemetry::Labels{{"phase", "local_train"}}, t);
     attempt_clients(chosen);
 
     // One resample-retry pass: when delivery fell below the quorum and
@@ -289,9 +342,13 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
       stats.retried_clients += static_cast<std::int64_t>(replacements);
       attempt_clients(replacement_cis);
     }
+    local_train_span.reset();  // close the local_train phase span
 
     bool applied = false;
+    std::int64_t round_accepted = 0;
     if (!updates.empty()) {
+      telemetry::SpanTimer aggregate_span(
+          registry, "fl.phase", {{"phase", "aggregate"}}, t);
       Rng agg_rng =
           round_rng.fork("aggregate", static_cast<std::uint64_t>(t));
       ScreeningReport report = server.aggregate(
@@ -301,6 +358,7 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
       stats.rejected_non_finite += report.rejected_non_finite;
       stats.rejected_norm_outlier += report.rejected_norm_outlier;
       stats.rejected_stale += report.rejected_stale;
+      round_accepted = report.accepted;
       applied = report.accepted >= config.min_reporting;
     }
 
@@ -312,12 +370,67 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
           static_cast<std::int64_t>(trained) * local_iterations;
     }
 
+    // Per-round telemetry, recorded whether or not the round applied.
+    const std::pair<std::int64_t, std::int64_t> clip_after = clip_totals();
+    const std::int64_t clip_delta = clip_after.first - clip_before.first;
+    if (clip_delta > 0) {
+      registry.record_point(
+          "fl.round.clip_fraction", t,
+          static_cast<double>(clip_after.second - clip_before.second) /
+              static_cast<double>(clip_delta),
+          policy_labels);
+    }
+    if (trained > 0) {
+      registry.record_point("fl.round.grad_norm_mean", t,
+                            record.mean_grad_norm);
+    }
+    registry.record_point("fl.round.accepted", t,
+                          static_cast<double>(round_accepted));
+    registry.record_point(
+        "fl.round.rejected", t,
+        static_cast<double>(stats.rejected_shape + stats.rejected_non_finite +
+                            stats.rejected_norm_outlier +
+                            stats.rejected_stale + stats.rejected_decode));
+    if (!eps_series.instance_epsilon.empty()) {
+      const double inst_eps =
+          eps_series.instance_epsilon[static_cast<std::size_t>(t)];
+      const double client_eps =
+          eps_series.client_epsilon[static_cast<std::size_t>(t)];
+      registry.gauge("dp.epsilon", {{"level", "instance"}}).set(inst_eps);
+      registry.gauge("dp.epsilon", {{"level", "client"}}).set(client_eps);
+      registry.record_point("dp.epsilon", t, inst_eps,
+                            {{"level", "instance"}});
+      registry.record_point("dp.epsilon", t, client_eps,
+                            {{"level", "client"}});
+    }
+    auto count_fault = [&registry](const char* type, std::int64_t n) {
+      if (n > 0) {
+        registry.counter("fl.faults.injected_total", {{"type", type}}).add(n);
+      }
+    };
+    count_fault("crash", stats.injected_crash);
+    count_fault("straggler", stats.injected_straggler);
+    count_fault("corrupt", stats.injected_corrupt);
+    count_fault("bit-flip", stats.injected_bit_flip);
+    count_fault("stale", stats.injected_stale);
+    if (stats.dropouts > 0) {
+      registry.counter("fl.client.dropouts_total").add(stats.dropouts);
+    }
+    if (stats.retried_clients > 0) {
+      registry.counter("fl.client.retried_total").add(stats.retried_clients);
+    }
+    if (stats.rejected_decode > 0) {
+      registry.counter("fl.transport.rejected_decode_total")
+          .add(stats.rejected_decode);
+    }
+
     if (!applied) {
       // Graceful degradation: the round produces no aggregate — either
       // nobody reported or screening left the quorum unmet.
       server.skip_round();
       ++result.dropped_rounds;
       ++stats.quorum_missed;
+      registry.counter("fl.round.quorum_missed_total").add(1);
       record.accuracy = std::nan("");
       result.total_failures.accumulate(stats);
       result.history.push_back(record);
@@ -328,9 +441,12 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
         (config.eval_every > 0 && (t + 1) % config.eval_every == 0) ||
         t + 1 == rounds;
     if (eval_now) {
+      telemetry::SpanTimer eval_span(registry, "fl.phase",
+                                     {{"phase", "eval"}}, t);
       model->set_weights(server.weights());
       record.accuracy =
           nn::evaluate_accuracy(*model, val.features(), val.labels());
+      registry.record_point("fl.round.accuracy", t, record.accuracy);
       FEDCL_LOG(Debug) << config.bench.name << " " << policy.name()
                        << " round " << (t + 1) << "/" << rounds
                        << " acc=" << record.accuracy;
@@ -355,16 +471,8 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
           : 0.0;
   result.completed_rounds = rounds - result.dropped_rounds;
   result.final_weights = tensor::list::clone(server.weights());
-  result.privacy_setup = {
-      .total_examples = train->size(),
-      .batch_size = config.bench.batch_size,
-      .clients_per_round = config.clients_per_round,
-      .total_clients = config.total_clients,
-      .local_iterations = local_iterations,
-      .rounds = rounds,
-      .noise_scale = config.noise_scale,
-      .delta = config.delta,
-  };
+  registry.flush_sinks();
+  result.telemetry = registry.snapshot();
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/accounting.h"
 #include "core/policy.h"
 #include "data/benchmarks.h"
@@ -107,6 +108,11 @@ struct FlRunResult {
   // The trained global model parameters (deep copy) — load into a
   // model built from the same ModelSpec via Sequential::set_weights.
   core::TensorList final_weights;
+  // Everything the run recorded into the global telemetry registry:
+  // round/phase spans, clip fractions, screening counters, the
+  // cumulative per-round (epsilon, delta) series. Tests assert on this
+  // instead of scraping logs.
+  telemetry::TelemetrySnapshot telemetry;
 };
 
 FlRunResult run_experiment(const FlExperimentConfig& config,

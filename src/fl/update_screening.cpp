@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/error.h"
+#include "common/telemetry.h"
 
 namespace fedcl::fl {
 
@@ -55,6 +56,13 @@ const char* reject_reason_name(RejectReason reason) {
 }
 
 void ScreeningReport::count(RejectReason reason) {
+  // Single home of the per-reason rejection counter: every screening
+  // path funnels through here, so the telemetry total cannot drift
+  // from the report fields.
+  telemetry::global_registry()
+      .counter("fl.screening.rejected_total",
+               {{"reason", reject_reason_name(reason)}})
+      .add(1);
   switch (reason) {
     case RejectReason::kShapeMismatch:
       ++rejected_shape;

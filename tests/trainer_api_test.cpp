@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/accounting.h"
 #include "core/policy.h"
 #include "data/benchmarks.h"
+#include "dp/accountant.h"
 #include "fl/trainer.h"
 #include "nn/grad_utils.h"
 #include "nn/model_zoo.h"
@@ -77,6 +79,134 @@ TEST(TrainerApi, FinalWeightsAreACopy) {
   result.final_weights[0].fill_(123.0f);
   fl::FlRunResult again = fl::run_experiment(config, policy);
   EXPECT_NE(again.final_weights[0].at(0), 123.0f);
+}
+
+fl::FlExperimentConfig smoke_config() {
+  fl::FlExperimentConfig config;
+  config.bench = data::benchmark_config(data::BenchmarkId::kCancer,
+                                        BenchScale::kSmoke);
+  config.total_clients = 4;
+  config.clients_per_round = 2;
+  config.rounds = 3;
+  config.eval_every = 1;
+  config.seed = 21;
+  return config;
+}
+
+// The dp.epsilon series the trainer records must match calling the
+// moments accountant directly for every prefix of rounds — the RDP is
+// linear in steps, so the incremental series is lossless, and the test
+// demands bitwise equality, not tolerance.
+TEST(TrainerTelemetry, EpsilonSeriesMatchesAccountantExactly) {
+  fl::FlExperimentConfig config = smoke_config();
+  config.noise_scale = 6.0;
+  auto policy = core::make_fed_cdp(data::kDefaultClippingBound, 6.0);
+  fl::FlRunResult result = fl::run_experiment(config, *policy);
+
+  const core::FlPrivacySetup& setup = result.privacy_setup;
+  const double instance_q =
+      static_cast<double>(setup.batch_size * setup.clients_per_round) /
+      static_cast<double>(setup.total_examples);
+  const double client_q = static_cast<double>(setup.clients_per_round) /
+                          static_cast<double>(setup.total_clients);
+  dp::MomentsAccountant instance_acc(instance_q, setup.noise_scale);
+  dp::MomentsAccountant client_acc(client_q, setup.noise_scale);
+
+  const std::vector<telemetry::SeriesPoint> instance_eps =
+      result.telemetry.series_points("dp.epsilon", {{"level", "instance"}});
+  const std::vector<telemetry::SeriesPoint> client_eps =
+      result.telemetry.series_points("dp.epsilon", {{"level", "client"}});
+  ASSERT_EQ(instance_eps.size(), static_cast<std::size_t>(config.rounds));
+  ASSERT_EQ(client_eps.size(), static_cast<std::size_t>(config.rounds));
+  for (std::int64_t t = 0; t < config.rounds; ++t) {
+    EXPECT_EQ(instance_eps[t].step, t);
+    EXPECT_EQ(instance_eps[t].value,
+              instance_acc.epsilon((t + 1) * setup.local_iterations,
+                                   setup.delta));
+    EXPECT_EQ(client_eps[t].value, client_acc.epsilon(t + 1, setup.delta));
+  }
+
+  // The gauges hold the latest (final-round) budget; delta is constant.
+  EXPECT_EQ(result.telemetry.gauge_value("dp.epsilon",
+                                         {{"level", "instance"}}),
+            instance_eps.back().value);
+  EXPECT_DOUBLE_EQ(result.telemetry.gauge_value("dp.delta"), config.delta);
+
+  // And the full run agrees with the one-shot accounting report.
+  core::PrivacyReport report = core::account_privacy(setup);
+  EXPECT_EQ(instance_eps.back().value, report.fed_cdp_instance_epsilon);
+  EXPECT_EQ(client_eps.back().value, report.fed_sdp_client_epsilon);
+}
+
+// Under the decaying clipping schedule the bound shrinks toward ~0, so
+// the fraction of clipped gradient groups must rise across the run.
+// The fraction never reaches 1 even at C ~ 0: per-example gradients of
+// confidently classified examples vanish, and a zero-norm group is
+// never clipped.
+TEST(TrainerTelemetry, ClipFractionRisesAsBoundDecays) {
+  fl::FlExperimentConfig config = smoke_config();
+  // sigma = 0 isolates the clipping signal: the Gaussian noise is
+  // scaled by C, so a generous starting bound would otherwise inject
+  // noise large enough to blow up later gradient norms.
+  config.noise_scale = 0.0;
+  auto policy = core::make_fed_cdp_decay(config.rounds, /*start=*/1e4,
+                                         /*end=*/1e-6, /*sigma=*/0.0);
+  fl::FlRunResult result = fl::run_experiment(config, *policy);
+
+  const std::vector<telemetry::SeriesPoint> fraction =
+      result.telemetry.series_points("fl.round.clip_fraction",
+                                     {{"policy", policy->name()}});
+  ASSERT_EQ(fraction.size(), static_cast<std::size_t>(config.rounds));
+  for (const telemetry::SeriesPoint& p : fraction) {
+    EXPECT_GE(p.value, 0.0);
+    EXPECT_LE(p.value, 1.0);
+  }
+  // Generous bound (C=1e4) clips nothing; at a near-zero bound every
+  // group with a non-vanishing gradient clips.
+  EXPECT_LT(fraction.front().value, 0.05);
+  EXPECT_GT(fraction.back().value, 0.25);
+  EXPECT_LT(fraction.front().value, fraction.back().value);
+}
+
+TEST(TrainerTelemetry, SnapshotCarriesRoundSpansAndScreeningCounters) {
+  fl::FlExperimentConfig config = smoke_config();
+  // An absurdly tight absolute norm cap rejects every update as a
+  // norm outlier, so every round misses quorum.
+  config.screening.max_update_norm = 1e-9;
+  core::NonPrivatePolicy policy;
+  fl::FlRunResult result = fl::run_experiment(config, policy);
+
+  const telemetry::TelemetrySnapshot& snap = result.telemetry;
+  const telemetry::HistogramSample* rounds =
+      snap.find_histogram("fl.round.duration_ms");
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_EQ(rounds->count, config.rounds);
+  const telemetry::HistogramSample* local_train = snap.find_histogram(
+      "fl.phase.duration_ms", {{"phase", "local_train"}});
+  ASSERT_NE(local_train, nullptr);
+  EXPECT_EQ(local_train->count, config.rounds);
+
+  EXPECT_EQ(snap.counter_value("fl.screening.rejected_total",
+                               {{"reason", "norm-outlier"}}),
+            result.total_failures.rejected_norm_outlier);
+  EXPECT_GT(result.total_failures.rejected_norm_outlier, 0);
+  EXPECT_EQ(snap.counter_value("fl.round.quorum_missed_total"),
+            result.dropped_rounds);
+  EXPECT_EQ(result.completed_rounds, 0);
+}
+
+TEST(TrainerTelemetry, RegistryResetsBetweenRuns) {
+  fl::FlExperimentConfig config = smoke_config();
+  core::NonPrivatePolicy policy;
+  fl::FlRunResult first = fl::run_experiment(config, policy);
+  fl::FlRunResult second = fl::run_experiment(config, policy);
+  // Counters restart from zero each run instead of accumulating.
+  EXPECT_EQ(first.telemetry.counter_value("fl.server.updates_accepted_total"),
+            second.telemetry.counter_value("fl.server.updates_accepted_total"));
+  const telemetry::HistogramSample* h =
+      second.telemetry.find_histogram("fl.round.duration_ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, config.rounds);
 }
 
 }  // namespace

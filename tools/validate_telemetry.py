@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate a --telemetry-out JSONL stream against docs/telemetry.schema.json.
+
+Stdlib only (no jsonschema dependency): the schema's constraints are
+simple enough to check by hand, and this script enforces exactly the
+contract the schema documents — per-event required fields, field types,
+and the meta header on line 1. CI runs it on the fl_simulator artifact.
+
+Usage: tools/validate_telemetry.py run.jsonl [--require name ...]
+
+--require NAME fails the run unless at least one span or point event
+with that metric name is present (used by CI to pin down the round
+spans, the epsilon series, and the screening counters' point mirror).
+Exit status 0 on success, 1 with a line-numbered report otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+LEVELS = {"DEBUG", "INFO", "WARN", "ERROR"}
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_labels(event, errors):
+    labels = event.get("labels")
+    if labels is None:
+        return
+    if not isinstance(labels, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+    ):
+        errors.append("labels must be a string-to-string object")
+
+
+def check_common(event, errors):
+    if not isinstance(event.get("name"), str) or not event["name"]:
+        errors.append("missing or empty 'name'")
+    if not is_num(event.get("t_ms")) or event["t_ms"] < 0:
+        errors.append("'t_ms' must be a non-negative number")
+    if "step" in event and (
+        not isinstance(event["step"], int)
+        or isinstance(event["step"], bool)
+        or event["step"] < 0
+    ):
+        errors.append("'step' must be a non-negative integer")
+    check_labels(event, errors)
+
+
+def validate_event(event):
+    errors = []
+    kind = event.get("type")
+    if kind == "meta":
+        if event.get("schema") != "fedcl-telemetry-v1":
+            errors.append("meta 'schema' must be 'fedcl-telemetry-v1'")
+        if not isinstance(event.get("version"), int) or event["version"] < 1:
+            errors.append("meta 'version' must be a positive integer")
+    elif kind == "span":
+        check_common(event, errors)
+        if not is_num(event.get("dur_ms")) or event["dur_ms"] < 0:
+            errors.append("'dur_ms' must be a non-negative number")
+    elif kind == "point":
+        check_common(event, errors)
+        if not is_num(event.get("value")):
+            errors.append("'value' must be a number")
+    elif kind == "log":
+        if not is_num(event.get("t_ms")) or event["t_ms"] < 0:
+            errors.append("'t_ms' must be a non-negative number")
+        if event.get("level") not in LEVELS:
+            errors.append("'level' must be one of %s" % sorted(LEVELS))
+        if not isinstance(event.get("message"), str):
+            errors.append("'message' must be a string")
+    else:
+        errors.append("unknown event type %r" % (kind,))
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="JSONL file written by --telemetry-out")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless a span/point with this metric name is present",
+    )
+    args = parser.parse_args()
+
+    failures = []
+    seen_names = set()
+    counts = {"meta": 0, "span": 0, "point": 0, "log": 0}
+    with open(args.path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                failures.append((lineno, ["blank line"]))
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as e:
+                failures.append((lineno, ["not valid JSON: %s" % e]))
+                continue
+            if not isinstance(event, dict):
+                failures.append((lineno, ["line is not a JSON object"]))
+                continue
+            errors = validate_event(event)
+            if lineno == 1 and event.get("type") != "meta":
+                errors.append("first line must be the meta event")
+            if errors:
+                failures.append((lineno, errors))
+                continue
+            kind = event["type"]
+            counts[kind] = counts.get(kind, 0) + 1
+            if kind in ("span", "point"):
+                seen_names.add(event["name"])
+
+    total = sum(counts.values())
+    if total == 0:
+        failures.append((0, ["file contains no events"]))
+    for name in args.require:
+        if name not in seen_names:
+            failures.append((0, ["required metric %r never emitted" % name]))
+
+    if failures:
+        for lineno, errors in failures:
+            where = "line %d" % lineno if lineno else args.path
+            for error in errors:
+                print("%s: %s" % (where, error), file=sys.stderr)
+        return 1
+    print(
+        "%s: OK — %d events (%d spans, %d points, %d logs), %d metric names"
+        % (
+            args.path,
+            total,
+            counts["span"],
+            counts["point"],
+            counts["log"],
+            len(seen_names),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
