@@ -11,8 +11,9 @@
 #include "bench/bench_util.h"
 #include "fl/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedcl;
+  bench::init_bench(argc, argv);
   bench::print_preamble(
       "bench_ablation_decay",
       "ablation: Fed-CDP clipping-bound schedules (Section VI)");
@@ -48,6 +49,11 @@ int main() {
                                       std::max<std::int64_t>(1, rounds / 3)),
            sigma, true)});
 
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_ablation_decay";
+  doc["rounds"] = rounds;
+  json::Value results = json::Value::array();
+
   AsciiTable table("Ablation — Fed-CDP clipping schedules (MNIST, sigma=" +
                    AsciiTable::fmt(sigma, 2) + ")");
   table.set_header({"schedule", "C at t=0", "C at t=T-1", "accuracy",
@@ -81,11 +87,22 @@ int main() {
                    bench::yes_no(report.type2.any_success)});
     std::printf("%s done (acc %.3f)\n", variant.label.c_str(),
                 result.final_accuracy);
+    json::Value r = json::Value::object();
+    r["schedule"] = variant.label;
+    r["final_accuracy"] = result.final_accuracy;
+    r["type2_distance"] = report.type2.mean_distance;
+    r["type2_success"] = report.type2.any_success;
+    results.push_back(std::move(r));
+    bench::add_metric(doc, "accuracy." + variant.label,
+                      result.final_accuracy, "higher", "accuracy");
+    bench::add_metric(doc, "type2_distance." + variant.label,
+                      report.type2.mean_distance, "higher", "distance");
   }
   table.print();
   std::printf(
       "Expected shape: schedules that decay C track the shrinking "
       "gradient norms (Fig. 3), improving accuracy over constant C at "
       "equal privacy while keeping the type-2 attack unsuccessful.\n");
-  return 0;
+  doc["results"] = std::move(results);
+  return bench::emit_bench_json("ablation_decay", doc) ? 0 : 1;
 }

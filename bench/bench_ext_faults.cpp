@@ -18,8 +18,7 @@
 
 int main(int argc, char** argv) {
   using namespace fedcl;
-  FlagParser flags(argc, argv);
-  bench::init_telemetry_from_flags(flags);
+  FlagParser flags = bench::init_bench(argc, argv);
   bench::print_preamble(
       "bench_ext_faults",
       "extension: graceful degradation vs client fault rate");
@@ -104,6 +103,14 @@ int main(int argc, char** argv) {
     results.push_back(std::move(r));
   }
   doc["results"] = std::move(results);
-  bench::emit_bench_json("ext_faults", doc);
-  return 0;
+  for (const Row& row : rows) {
+    const std::string key =
+        row.policy + ".rate=" + AsciiTable::fmt(row.fault_rate, 1);
+    bench::add_metric(doc, "accuracy." + key, row.result.final_accuracy,
+                      "higher", "accuracy");
+    bench::add_metric(doc, "completed_rounds." + key,
+                      static_cast<double>(row.result.completed_rounds),
+                      "higher", "count");
+  }
+  return bench::emit_bench_json("ext_faults", doc) ? 0 : 1;
 }

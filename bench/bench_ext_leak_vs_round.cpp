@@ -19,8 +19,9 @@
 #include "nn/grad_utils.h"
 #include "nn/model_zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedcl;
+  bench::init_bench(argc, argv);
   bench::print_preamble(
       "bench_ext_leak_vs_round",
       "extension: leakage vs training round (Section VII-C)");
@@ -54,6 +55,10 @@ int main() {
   table.set_header({"rounds trained", "val accuracy", "grad norm",
                     "attack iters", "recon distance", "succeeds"});
 
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_ext_leak_vs_round";
+  json::Value results = json::Value::array();
+
   const std::int64_t total = config.effective_rounds();
   const std::vector<double> fractions = {0.0, 0.25, 0.5, 1.0};
   for (double frac : fractions) {
@@ -86,6 +91,22 @@ int main() {
     std::printf("round %lld done (distance %.4f, %d iters)\n",
                 static_cast<long long>(rounds),
                 result.reconstruction_distance, result.iterations);
+    json::Value r = json::Value::object();
+    r["fraction"] = frac;
+    r["rounds_trained"] = rounds;
+    r["val_accuracy"] = accuracy;
+    r["grad_norm"] = grad_norm;
+    r["attack_iterations"] = result.iterations;
+    r["recon_distance"] = result.reconstruction_distance;
+    r["success"] = result.success;
+    results.push_back(std::move(r));
+    bench::add_metric(doc,
+                      "recon_distance.frac=" + AsciiTable::fmt(frac, 2),
+                      result.reconstruction_distance, "lower", "distance");
+    bench::add_metric(doc,
+                      "attack_iters.frac=" + AsciiTable::fmt(frac, 2),
+                      static_cast<double>(result.iterations), "lower",
+                      "count");
   }
   table.print();
   std::printf(
@@ -93,5 +114,6 @@ int main() {
       "training reconstruct fastest; as the model converges the "
       "gradient magnitude shrinks and the attack needs more iterations "
       "and/or reconstructs less faithfully.\n");
-  return 0;
+  doc["results"] = std::move(results);
+  return bench::emit_bench_json("ext_leak_vs_round", doc) ? 0 : 1;
 }

@@ -81,8 +81,9 @@ TrainedModel train_under_policy(const core::PrivacyPolicy& policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedcl;
+  bench::init_bench(argc, argv);
   bench::print_preamble(
       "bench_ext_membership",
       "extension: membership inference vs privacy policy");
@@ -110,6 +111,11 @@ int main() {
   bench::PolicySet policies = bench::make_policy_set(/*total_rounds=*/1,
                                                      sigma);
 
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_ext_membership";
+  doc["steps"] = steps;
+  json::Value results = json::Value::array();
+
   AsciiTable table(
       "Membership inference after per-example training (hard 2-class "
       "task, " + std::to_string(steps) + " steps)");
@@ -128,11 +134,27 @@ int main() {
                    AsciiTable::fmt(m.auc, 3)});
     std::printf("%s done (advantage %.3f)\n", policy->name().c_str(),
                 m.advantage);
+    json::Value r = json::Value::object();
+    r["policy"] = policy->name();
+    r["train_accuracy"] = trained.train_accuracy;
+    r["member_mean_loss"] = m.member_mean_loss;
+    r["nonmember_mean_loss"] = m.nonmember_mean_loss;
+    r["attack_accuracy"] = m.attack_accuracy;
+    r["advantage"] = m.advantage;
+    r["auc"] = m.auc;
+    results.push_back(std::move(r));
+    // Per-example DP should keep the advantage low; policies without
+    // the per-example hook should stay distinguishable (high).
+    const bool per_example = policy->name() == "Fed-CDP" ||
+                             policy->name() == "Fed-CDP(decay)";
+    bench::add_metric(doc, "advantage." + policy->name(), m.advantage,
+                      per_example ? "lower" : "higher", "ratio");
   }
   table.print();
   std::printf(
       "Expected shape: non-private and Fed-SDP (no per-example hook) "
       "memorize the members — large loss gap, advantage >> 0; Fed-CDP "
       "and Fed-CDP(decay) suppress memorization, advantage -> 0.\n");
-  return 0;
+  doc["results"] = std::move(results);
+  return bench::emit_bench_json("ext_membership", doc) ? 0 : 1;
 }

@@ -18,8 +18,9 @@
 #include "fl/secure_aggregation.h"
 #include "nn/model_zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedcl;
+  bench::init_bench(argc, argv);
   bench::print_preamble(
       "bench_ext_secure_agg",
       "extension: secure aggregation vs the three leakage types");
@@ -72,9 +73,16 @@ int main() {
   }
   core::TensorList diff = tensor::list::clone(sum_masked);
   tensor::list::add_(diff, sum_plain, -1.0f);
+  const double agg_error = tensor::list::l2_norm(diff);
   std::printf("aggregate error with masking: %.3e (relative to norm "
               "%.3e)\n\n",
-              tensor::list::l2_norm(diff), tensor::list::l2_norm(sum_plain));
+              agg_error, tensor::list::l2_norm(sum_plain));
+
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_ext_secure_agg";
+  doc["aggregate_error"] = agg_error;
+  json::Value results = json::Value::array();
+  bench::add_metric(doc, "aggregate_error", agg_error, "lower", "ratio");
 
   // Type-0 attack on the update the server receives.
   attack::AttackConfig acfg;
@@ -100,6 +108,16 @@ int main() {
     }
     table.add_row({secure ? "secure aggregation" : "plaintext updates",
                    AsciiTable::fmt(dist / 4.0), bench::yes_no(any)});
+    json::Value r = json::Value::object();
+    r["transport"] = secure ? "secure_aggregation" : "plaintext";
+    r["type0_distance"] = dist / 4.0;
+    r["type0_success"] = any;
+    results.push_back(std::move(r));
+    bench::add_metric(
+        doc,
+        std::string("type0_distance.") +
+            (secure ? "secure_aggregation" : "plaintext"),
+        dist / 4.0, secure ? "higher" : "lower", "distance");
   }
   table.print();
 
@@ -117,5 +135,15 @@ int main() {
       "\nExpected shape: masking stops the type-0 attack cold (masked "
       "updates are noise to the server) at zero aggregate error, but "
       "client-side leakage (type-1/2) persists — hence Fed-CDP.\n");
-  return 0;
+  {
+    json::Value r = json::Value::object();
+    r["transport"] = "secure_aggregation";
+    r["type2_distance"] = t2.reconstruction_distance;
+    r["type2_success"] = t2.success;
+    results.push_back(std::move(r));
+  }
+  bench::add_metric(doc, "type2_distance.secure_aggregation",
+                    t2.reconstruction_distance, "lower", "distance");
+  doc["results"] = std::move(results);
+  return bench::emit_bench_json("ext_secure_agg", doc) ? 0 : 1;
 }

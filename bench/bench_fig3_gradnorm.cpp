@@ -8,8 +8,9 @@
 #include "core/policy.h"
 #include "fl/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedcl;
+  bench::init_bench(argc, argv);
   bench::print_preamble("bench_fig3_gradnorm",
                         "Figure 3: gradient L2 norm decay during training");
   const bench::FederationScale fed = bench::federation_scale();
@@ -56,5 +57,23 @@ int main() {
       "model leaves initialization, then decays as training converges — "
       "the motivation for Fed-CDP(decay)'s shrinking clipping bound.\n",
       early, late, late > 0 ? early / late : 0.0);
-  return 0;
+
+  // The per-round rows are the Figure 3 data series; fedcl_report.py
+  // renders them as a CSV for plotting.
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_fig3_gradnorm";
+  json::Value results = json::Value::array();
+  for (const auto& r : result.history) {
+    json::Value row = json::Value::object();
+    row["round"] = r.round + 1;
+    row["mean_grad_norm"] = r.mean_grad_norm;
+    results.push_back(std::move(row));
+  }
+  doc["results"] = std::move(results);
+  bench::add_metric(doc, "grad_norm.first_round", early, "higher", "ratio");
+  bench::add_metric(doc, "grad_norm.decay_ratio",
+                    late > 0 ? early / late : 0.0, "higher", "ratio");
+  bench::add_metric(doc, "final_accuracy", result.final_accuracy, "higher",
+                    "accuracy");
+  return bench::emit_bench_json("fig3_gradnorm", doc) ? 0 : 1;
 }

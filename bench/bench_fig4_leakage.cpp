@@ -10,8 +10,9 @@
 #include "bench/bench_util.h"
 #include "fl/dssgd.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedcl;
+  bench::init_bench(argc, argv);
   bench::print_preamble(
       "bench_fig4_leakage",
       "Figure 4: leakage visualization under each Fed-DP module");
@@ -34,6 +35,10 @@ int main() {
       dp_policies.non_private.get(), &dssgd, dp_policies.fed_sdp.get(),
       dp_policies.fed_cdp.get(), dp_policies.fed_cdp_decay.get()};
 
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_fig4_leakage";
+  json::Value results = json::Value::array();
+
   AsciiTable table("Figure 4 — reconstruction distance by policy (LFW)");
   table.set_header({"policy", "type-0&1 dist", "succeed", "type-2 dist",
                     "succeed"});
@@ -44,6 +49,21 @@ int main() {
                    bench::yes_no(report.type01.any_success),
                    AsciiTable::fmt(report.type2.mean_distance),
                    bench::yes_no(report.type2.any_success)});
+    json::Value jr = json::Value::object();
+    jr["policy"] = policy->name();
+    jr["type01_distance"] = report.type01.mean_distance;
+    jr["type01_success"] = report.type01.any_success;
+    jr["type2_distance"] = report.type2.mean_distance;
+    jr["type2_success"] = report.type2.any_success;
+    results.push_back(std::move(jr));
+    const bool masked = policy != policies.front() && policy != &dssgd;
+    bench::add_metric(doc,
+                      "recon_distance." + policy->name() + ".type2",
+                      report.type2.mean_distance,
+                      masked && policy != dp_policies.fed_sdp.get()
+                          ? "higher"
+                          : "lower",
+                      "distance");
     const auto& r = report.type2.per_client.front();
     std::printf("\n--- %s: type-2 reconstruction (distance %.4f) ---\n%s",
                 policy->name().c_str(), r.reconstruction_distance,
@@ -60,5 +80,6 @@ int main() {
       "all three types; Fed-SDP masks type-0&1 but leaks type-2; "
       "Fed-CDP masks all; Fed-CDP(decay) yields the largest "
       "reconstruction distance (strongest masking).\n");
-  return 0;
+  doc["results"] = std::move(results);
+  return bench::emit_bench_json("fig4_leakage", doc) ? 0 : 1;
 }

@@ -10,8 +10,9 @@
 #include "bench/bench_util.h"
 #include "fl/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedcl;
+  bench::init_bench(argc, argv);
   bench::print_preamble(
       "bench_fig5_compression",
       "Figure 5: accuracy + type-2 resilience under gradient compression");
@@ -23,6 +24,12 @@ int main() {
   const std::int64_t rounds =
       fed.sweep_rounds > 0 ? fed.sweep_rounds : bench_cfg.rounds;
   bench::PolicySet policies = bench::make_policy_set(rounds);
+
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_fig5_compression";
+  doc["rounds"] = rounds;
+  json::Value acc_results = json::Value::array();
+  json::Value leak_results = json::Value::array();
 
   // (a) accuracy under compression.
   AsciiTable acc_table("Figure 5 (a) — accuracy by compression ratio");
@@ -45,6 +52,15 @@ int main() {
       row.push_back(AsciiTable::fmt(result.final_accuracy, 3));
       std::printf("%s ratio=%.0f%% acc=%.3f\n", policy->name().c_str(),
                   100 * ratio, result.final_accuracy);
+      json::Value jr = json::Value::object();
+      jr["policy"] = policy->name();
+      jr["prune_ratio"] = ratio;
+      jr["final_accuracy"] = result.final_accuracy;
+      acc_results.push_back(std::move(jr));
+      bench::add_metric(doc,
+                        "accuracy." + policy->name() + "." +
+                            AsciiTable::fmt(100 * ratio, 0) + "%",
+                        result.final_accuracy, "higher", "accuracy");
     }
     acc_table.add_row(row);
   }
@@ -73,6 +89,12 @@ int main() {
                   policy->name().c_str(), 100 * ratio,
                   report.type01.mean_distance,
                   report.type01.any_success ? "Y" : "N");
+      json::Value jr = json::Value::object();
+      jr["policy"] = policy->name();
+      jr["prune_ratio"] = ratio;
+      jr["attack_distance"] = report.type01.mean_distance;
+      jr["attack_success"] = report.type01.any_success;
+      leak_results.push_back(std::move(jr));
     }
     leak_table.add_row(row);
   }
@@ -84,5 +106,7 @@ int main() {
       "attack keeps succeeding far past the paper's 30%% mark (our "
       "attacker masks unobserved coordinates, so only extreme pruning "
       "defeats it), while Fed-CDP resists at every ratio.\n");
-  return 0;
+  doc["accuracy_results"] = std::move(acc_results);
+  doc["results"] = std::move(leak_results);
+  return bench::emit_bench_json("fig5_compression", doc) ? 0 : 1;
 }

@@ -8,8 +8,9 @@
 #include "fl/trainer.h"
 #include "tensor/shape.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedcl;
+  bench::init_bench(argc, argv);
   bench::print_preamble("bench_table1_datasets",
                         "Table I: benchmark datasets and parameters");
   const bench::FederationScale fed = bench::federation_scale();
@@ -19,6 +20,9 @@ int main() {
                     "#data/client", "L", "B", "T", "acc", "paper acc",
                     "ms/iter", "paper ms"});
 
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_table1_datasets";
+  json::Value results = json::Value::array();
   core::NonPrivatePolicy non_private;
   for (data::BenchmarkId id : data::all_benchmarks()) {
     fl::FlExperimentConfig config;
@@ -44,11 +48,23 @@ int main() {
          AsciiTable::fmt(config.bench.paper_cost_ms, 1)});
     std::printf("%s done (acc %.4f)\n", config.bench.name.c_str(),
                 result.final_accuracy);
+
+    json::Value r = json::Value::object();
+    r["dataset"] = config.bench.name;
+    r["final_accuracy"] = result.final_accuracy;
+    r["ms_per_local_iteration"] = result.ms_per_local_iteration;
+    r["paper_accuracy"] = config.bench.paper_nonprivate_accuracy;
+    results.push_back(std::move(r));
+    bench::add_metric(doc, "accuracy." + config.bench.name,
+                      result.final_accuracy, "higher", "accuracy");
+    bench::add_metric(doc, "ms_per_iter." + config.bench.name,
+                      result.ms_per_local_iteration, "lower", "time");
   }
   table.print();
   std::printf("\nNote: datasets are synthetic stand-ins with the paper's "
               "dimensions and class structure (see DESIGN.md); accuracy "
               "and ms/iteration are expected to track the paper in shape, "
               "not absolute value.\n");
-  return 0;
+  doc["results"] = std::move(results);
+  return bench::emit_bench_json("table1_datasets", doc) ? 0 : 1;
 }

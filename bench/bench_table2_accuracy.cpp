@@ -7,8 +7,9 @@
 #include "bench/bench_util.h"
 #include "fl/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedcl;
+  bench::init_bench(argc, argv);
   bench::print_preamble(
       "bench_table2_accuracy",
       "Table II: accuracy by #total clients and Kt/K on MNIST");
@@ -30,6 +31,10 @@ int main() {
       "paper (K=10000): non-private 0.979..0.980, Fed-SDP 0.935..0.944, "
       "Fed-CDP 0.963..0.968, Fed-CDP(decay) 0.974..0.980\n\n");
 
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_table2_accuracy";
+  doc["rounds"] = rounds;
+  json::Value results = json::Value::array();
   for (std::int64_t total_clients : fed.total_clients) {
     AsciiTable table("Table II — K=" + std::to_string(total_clients) +
                      " total clients (T=" + std::to_string(rounds) + ")");
@@ -52,6 +57,17 @@ int main() {
         std::printf("K=%lld %s Kt/K=%d%% -> %.3f\n",
                     static_cast<long long>(total_clients),
                     policy->name().c_str(), percent, result.final_accuracy);
+        json::Value r = json::Value::object();
+        r["total_clients"] = total_clients;
+        r["percent"] = percent;
+        r["policy"] = policy->name();
+        r["final_accuracy"] = result.final_accuracy;
+        results.push_back(std::move(r));
+        bench::add_metric(doc,
+                          "accuracy.K=" + std::to_string(total_clients) +
+                              "." + policy->name() + "." +
+                              std::to_string(percent) + "%",
+                          result.final_accuracy, "higher", "accuracy");
       }
       table.add_row(row);
     }
@@ -61,5 +77,6 @@ int main() {
   std::printf("Expected shape (paper): accuracy grows with both K and "
               "Kt/K; Fed-CDP > Fed-SDP everywhere; Fed-CDP(decay) >= "
               "Fed-CDP, approaching the non-private baseline.\n");
-  return 0;
+  doc["results"] = std::move(results);
+  return bench::emit_bench_json("table2_accuracy", doc) ? 0 : 1;
 }

@@ -114,18 +114,33 @@ void register_benches() {
   }
 }
 
-void print_summary() {
+json::Value print_summary() {
   AsciiTable table("Table III — time cost per local iteration per client (ms)");
   table.set_header(
       {"policy", "MNIST", "CIFAR-10", "LFW", "adult", "cancer"});
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_table3_timecost";
+  json::Value results = json::Value::array();
   for (int policy = 0; policy < 4; ++policy) {
     std::vector<std::string> row = {policy_label(policy)};
     for (data::BenchmarkId id : data::all_benchmarks()) {
       auto it = g_ms.find({static_cast<int>(id), policy});
       row.push_back(it == g_ms.end() ? "-" : AsciiTable::fmt(it->second, 2));
+      if (it == g_ms.end()) continue;
+      json::Value r = json::Value::object();
+      r["dataset"] = data::benchmark_name(id);
+      r["policy"] = policy_label(policy);
+      r["ms_per_iter"] = it->second;
+      results.push_back(std::move(r));
+      bench::add_metric(doc,
+                        std::string("ms_per_iter.") +
+                            data::benchmark_name(id) + "." +
+                            policy_label(policy),
+                        it->second, "lower", "time");
     }
     table.add_row(row);
   }
+  doc["results"] = std::move(results);
   table.print();
   std::printf(
       "paper (ms): non-private 6.8/32.5/30.9/5.1/5.1, Fed-SDP "
@@ -133,17 +148,19 @@ void print_summary() {
       "Fed-CDP(decay) 22.6/132.1/114.6/12.1/12.0\n"
       "Expected shape: Fed-SDP ~= non-private; Fed-CDP ~3x non-private "
       "(per-example clipping+noise); decay adds negligible cost.\n");
+  return doc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init_bench(argc, argv);
   bench::print_preamble("bench_table3_timecost",
                         "Table III: time cost per local iteration (ms)");
   register_benches();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_summary();
-  return 0;
+  json::Value doc = print_summary();
+  return bench::emit_bench_json("table3_timecost", doc) ? 0 : 1;
 }

@@ -6,8 +6,9 @@
 #include "bench/bench_util.h"
 #include "fl/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedcl;
+  bench::init_bench(argc, argv);
   bench::print_preamble("bench_table4_clipping",
                         "Table IV: Fed-CDP accuracy by clipping bound C");
   const bench::FederationScale fed = bench::federation_scale();
@@ -20,6 +21,10 @@ int main() {
   for (double c : bounds) header.push_back("C=" + AsciiTable::fmt(c, 1));
   table.set_header(header);
 
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_table4_clipping";
+  doc["sigma"] = sigma;
+  json::Value results = json::Value::array();
   for (data::BenchmarkId id : data::all_benchmarks()) {
     data::BenchmarkConfig cfg = data::benchmark_config(id);
     std::vector<std::string> row = {cfg.name};
@@ -36,6 +41,15 @@ int main() {
       row.push_back(AsciiTable::fmt(result.final_accuracy, 3));
       std::printf("%s C=%.1f -> %.3f\n", cfg.name.c_str(), c,
                   result.final_accuracy);
+      json::Value r = json::Value::object();
+      r["dataset"] = cfg.name;
+      r["clip"] = c;
+      r["final_accuracy"] = result.final_accuracy;
+      results.push_back(std::move(r));
+      bench::add_metric(doc,
+                        "accuracy." + cfg.name + ".C=" +
+                            AsciiTable::fmt(c, 1),
+                        result.final_accuracy, "higher", "accuracy");
     }
     table.add_row(row);
   }
@@ -47,5 +61,6 @@ int main() {
       "Expected shape: accuracy peaks at a moderate C (noise variance "
       "grows with C; information loss grows as C shrinks) and degrades "
       "at both extremes.\n");
-  return 0;
+  doc["results"] = std::move(results);
+  return bench::emit_bench_json("table4_clipping", doc) ? 0 : 1;
 }

@@ -8,8 +8,9 @@
 #include "bench/bench_util.h"
 #include "fl/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedcl;
+  bench::init_bench(argc, argv);
   bench::print_preamble("bench_table5_noise",
                         "Table V: Fed-CDP accuracy by noise scale sigma");
   const bench::FederationScale fed = bench::federation_scale();
@@ -25,6 +26,10 @@ int main() {
   }
   table.set_header(header);
 
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_table5_noise";
+  doc["sigma_default"] = sigma0;
+  json::Value results = json::Value::array();
   for (data::BenchmarkId id : data::all_benchmarks()) {
     data::BenchmarkConfig cfg = data::benchmark_config(id);
     std::vector<std::string> row = {cfg.name};
@@ -42,6 +47,15 @@ int main() {
       row.push_back(AsciiTable::fmt(result.final_accuracy, 3));
       std::printf("%s sigma=%.3f -> %.3f\n", cfg.name.c_str(), sigma,
                   result.final_accuracy);
+      json::Value r = json::Value::object();
+      r["dataset"] = cfg.name;
+      r["sigma"] = sigma;
+      r["final_accuracy"] = result.final_accuracy;
+      results.push_back(std::move(r));
+      bench::add_metric(doc,
+                        "accuracy." + cfg.name + ".sigma=" +
+                            AsciiTable::fmt(sigma, 3),
+                        result.final_accuracy, "higher", "accuracy");
     }
     table.add_row(row);
   }
@@ -52,5 +66,6 @@ int main() {
       "0.979.\n"
       "Expected shape: accuracy decreases monotonically (mildly at first) "
       "as sigma grows — more noise, less utility.\n");
-  return 0;
+  doc["results"] = std::move(results);
+  return bench::emit_bench_json("table5_noise", doc) ? 0 : 1;
 }

@@ -9,10 +9,15 @@
 #include "attack/leakage_eval.h"
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fedcl;
+  bench::init_bench(argc, argv);
   bench::print_preamble("bench_table7_attack",
                         "Table VII: attack effectiveness by policy");
+
+  json::Value doc = json::Value::object();
+  doc["bench"] = "bench_table7_attack";
+  json::Value results = json::Value::array();
 
   std::int64_t clients = 5;
   if (bench_scale() == BenchScale::kSmoke) clients = 1;
@@ -53,6 +58,27 @@ int main() {
                   report.type01.mean_distance,
                   report.type2.any_success ? "Y" : "N",
                   report.type2.mean_distance);
+      json::Value r = json::Value::object();
+      r["dataset"] = config.bench.name;
+      r["policy"] = policy->name();
+      r["type01_success"] = report.type01.any_success;
+      r["type01_distance"] = report.type01.mean_distance;
+      r["type01_iterations"] = report.type01.mean_iterations;
+      r["type2_success"] = report.type2.any_success;
+      r["type2_distance"] = report.type2.mean_distance;
+      r["type2_iterations"] = report.type2.mean_iterations;
+      results.push_back(std::move(r));
+      // Non-private should stay attackable (distance low); DP policies
+      // should stay resilient (distance high) — gate both directions.
+      const bool is_private = policy->name() != "non-private";
+      const std::string key =
+          config.bench.name + "." + policy->name();
+      bench::add_metric(doc, "recon_distance." + key + ".type01",
+                        report.type01.mean_distance,
+                        is_private ? "higher" : "lower", "distance");
+      bench::add_metric(doc, "recon_distance." + key + ".type2",
+                        report.type2.mean_distance,
+                        is_private ? "higher" : "lower", "distance");
     }
     table.print();
     std::printf("\n");
@@ -64,5 +90,6 @@ int main() {
       "Expected shape: non-private leaks everywhere; Fed-SDP stops "
       "type-0&1 but NOT type-2; Fed-CDP and Fed-CDP(decay) stop all "
       "three, decay with the largest reconstruction distance.\n");
-  return 0;
+  doc["results"] = std::move(results);
+  return bench::emit_bench_json("table7_attack", doc) ? 0 : 1;
 }

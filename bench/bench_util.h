@@ -7,7 +7,10 @@
 // immediate. Scale comes from FEDCL_SCALE (see data/benchmarks.h).
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +18,7 @@
 #include "common/env.h"
 #include "common/flags.h"
 #include "common/json.h"
+#include "common/run_info.h"
 #include "common/table.h"
 #include "common/telemetry.h"
 #include "core/policy.h"
@@ -96,20 +100,84 @@ inline void init_telemetry_from_flags(const FlagParser& flags) {
   telemetry::global_registry().add_sink(std::move(sink));
 }
 
-// Machine-readable record: prints `doc` after the tables and writes it
-// to BENCH_<name>.json for CI artifacts. `doc` should already carry a
-// "bench" field; benches build it with json::Value instead of
-// hand-rolled string concatenation.
-inline void emit_bench_json(const std::string& bench_name,
-                            const json::Value& doc) {
+// Where BENCH_<name>.json documents land: --bench-out=DIR beats the
+// FEDCL_BENCH_DIR environment variable beats the process cwd, so the
+// bench_suite driver (and CI) can collect artifacts from a scratch
+// directory instead of whatever cwd the bench ran from.
+inline std::string& bench_out_dir_storage() {
+  static std::string dir;
+  return dir;
+}
+
+inline void set_bench_out_dir(std::string dir) {
+  bench_out_dir_storage() = std::move(dir);
+}
+
+inline std::string bench_out_dir() {
+  if (!bench_out_dir_storage().empty()) return bench_out_dir_storage();
+  if (const char* env = std::getenv("FEDCL_BENCH_DIR")) {
+    if (env[0] != '\0') return env;
+  }
+  return ".";
+}
+
+// Standard per-bench startup: records the command line in the run
+// manifest (common/run_info.h), resolves --bench-out / FEDCL_BENCH_DIR,
+// and attaches --telemetry-out. Every bench main() starts with this.
+inline FlagParser init_bench(int argc, char** argv) {
+  runinfo::set_command_line(argc, argv);
+  FlagParser flags(argc, argv);
+  const std::string out_dir = flags.get("bench-out", "");
+  if (!out_dir.empty()) set_bench_out_dir(out_dir);
+  init_telemetry_from_flags(flags);
+  return flags;
+}
+
+// Adds a gating metric to `doc["metrics"]` — the flat, uniformly-shaped
+// map tools/fedcl_report.py diffs between runs. `better` is "higher" or
+// "lower"; `cls` groups metrics for per-class regression thresholds:
+//   "time"     — absolute wall-clock (machine-specific; diffed only
+//                between runs on comparable hosts),
+//   "ratio"    — machine-portable speedups/fractions,
+//   "accuracy" — model quality,
+//   "epsilon"  — privacy accounting (deterministic),
+//   "count"    — integer totals (rounds completed, successes).
+inline void add_metric(json::Value& doc, const std::string& name,
+                       double value, const std::string& better,
+                       const std::string& cls) {
+  json::Value m = json::Value::object();
+  m["value"] = value;
+  m["better"] = better;
+  m["class"] = cls;
+  doc["metrics"][name] = std::move(m);
+}
+
+// Machine-readable record: embeds the run manifest as doc["run"],
+// prints the document after the tables, and writes it to
+// BENCH_<name>.json under bench_out_dir(). Returns false (with a
+// stderr report — never a silent drop) when the file cannot be
+// written; benches propagate that as a nonzero exit so CI catches a
+// missing artifact at the source.
+inline bool emit_bench_json(const std::string& bench_name, json::Value doc) {
+  doc["run"] = runinfo::to_json();
   const std::string text = doc.dump(2) + "\n";
   std::printf("\nbench_json = %s", text.c_str());
-  const std::string path = "BENCH_" + bench_name + ".json";
-  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
-    std::printf("wrote %s\n", path.c_str());
+  const std::string path = bench_out_dir() + "/BENCH_" + bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open '%s' for writing: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
   }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != text.size() || !closed) {
+    std::fprintf(stderr, "bench: short/failed write to '%s': %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace fedcl::bench

@@ -10,6 +10,7 @@
 //   fl_simulator --dataset=mnist --policy=non-private --prune=0.3 \
 //                --save=global.ckpt
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -18,6 +19,8 @@
 #include "common/env.h"
 #include "common/error.h"
 #include "common/flags.h"
+#include "common/metrics_http.h"
+#include "common/run_info.h"
 #include "common/telemetry.h"
 #include "core/accounting.h"
 #include "core/policy.h"
@@ -72,17 +75,61 @@ void print_usage(const char* program) {
       "          [--seed=N] [--eval-every=N]\n"
       "          [--fault-rate=P] [--min-reporting=N] [--no-retry]\n"
       "          [--screen-outlier=F] [--screen-max-norm=C]\n"
-      "          [--telemetry-out=FILE.jsonl] [--telemetry-prom=FILE.prom]\n",
+      "          [--telemetry-out=FILE.jsonl] [--telemetry-prom=FILE.prom]\n"
+      "          [--metrics-port=N]  (serve /metrics over HTTP; 0 = "
+      "ephemeral port)\n",
       program);
 }
 
-}  // namespace
+// Flushes the registry's sinks — and writes the --telemetry-prom dump
+// if requested — on EVERY exit path, including FEDCL_CHECK failures
+// and other exceptions, so a crashed run keeps its partial telemetry.
+class TelemetryFlushGuard {
+ public:
+  explicit TelemetryFlushGuard(std::string prom_path)
+      : prom_path_(std::move(prom_path)) {}
+  ~TelemetryFlushGuard() {
+    telemetry::global_registry().flush_sinks();
+    if (prom_path_.empty()) return;
+    std::ofstream prom(prom_path_);
+    if (!prom.good()) {
+      std::fprintf(stderr,
+                   "fl_simulator: cannot open --telemetry-prom file '%s'\n",
+                   prom_path_.c_str());
+      return;
+    }
+    prom << telemetry::global_registry().prometheus_text();
+  }
 
-int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  if (flags.has("help")) {
-    print_usage(flags.program().c_str());
-    return 0;
+ private:
+  std::string prom_path_;
+};
+
+int run_simulator(const FlagParser& flags) {
+  // Telemetry plumbing comes first so every later failure still
+  // flushes through the guard.
+  const std::string telemetry_out = flags.get("telemetry-out", "");
+  if (!telemetry_out.empty()) {
+    auto sink = std::make_unique<telemetry::JsonlSink>(telemetry_out);
+    FEDCL_CHECK(sink->ok()) << "cannot open --telemetry-out file '"
+                            << telemetry_out << "'";
+    telemetry::global_registry().add_sink(std::move(sink));
+  }
+  TelemetryFlushGuard flush_guard(flags.get("telemetry-prom", ""));
+
+  std::unique_ptr<telemetry::MetricsHttpServer> metrics_server;
+  if (flags.has("metrics-port")) {
+    const auto port = static_cast<int>(flags.get_int("metrics-port", 0));
+    metrics_server = std::make_unique<telemetry::MetricsHttpServer>(
+        telemetry::global_registry());
+    std::string error;
+    FEDCL_CHECK(metrics_server->start(port, &error))
+        << "cannot serve --metrics-port=" << port << ": " << error;
+    std::printf("fl_simulator: serving http://127.0.0.1:%d/metrics\n",
+                metrics_server->port());
+    // Flush so a scraper reading redirected output learns the
+    // ephemeral port now, not at process exit.
+    std::fflush(stdout);
   }
 
   fl::FlExperimentConfig config;
@@ -106,14 +153,6 @@ int main(int argc, char** argv) {
       flags.get_double("screen-outlier", 0.0);
   config.screening.max_update_norm =
       flags.get_double("screen-max-norm", 0.0);
-
-  const std::string telemetry_out = flags.get("telemetry-out", "");
-  if (!telemetry_out.empty()) {
-    auto sink = std::make_unique<telemetry::JsonlSink>(telemetry_out);
-    FEDCL_CHECK(sink->ok()) << "cannot open --telemetry-out file '"
-                            << telemetry_out << "'";
-    telemetry::global_registry().add_sink(std::move(sink));
-  }
 
   const double sigma =
       flags.get_double("sigma", data::default_noise_scale());
@@ -198,13 +237,23 @@ int main(int argc, char** argv) {
                 leak.type2.mean_distance, leak.type2.mean_iterations);
   }
 
-  telemetry::global_registry().flush_sinks();
-  const std::string telemetry_prom = flags.get("telemetry-prom", "");
-  if (!telemetry_prom.empty()) {
-    std::ofstream prom(telemetry_prom);
-    FEDCL_CHECK(prom.good()) << "cannot open --telemetry-prom file '"
-                             << telemetry_prom << "'";
-    prom << telemetry::global_registry().prometheus_text();
-  }
+  // The flush guard writes the sinks and the --telemetry-prom dump.
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runinfo::set_command_line(argc, argv);
+  FlagParser flags(argc, argv);
+  if (flags.has("help")) {
+    print_usage(flags.program().c_str());
+    return 0;
+  }
+  try {
+    return run_simulator(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fl_simulator: %s\n", e.what());
+    return 1;
+  }
 }

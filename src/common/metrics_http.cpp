@@ -1,0 +1,161 @@
+#include "common/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/telemetry.h"
+
+namespace fedcl::telemetry {
+
+namespace {
+
+// Reads until the end of the request headers ("\r\n\r\n"), a small cap,
+// or a short timeout. Returns the raw request text (possibly partial).
+std::string read_request(int fd) {
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/2000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.find("\n\n") != std::string::npos) {
+      break;
+    }
+  }
+  return request;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(Registry& registry)
+    : registry_(registry) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool MetricsHttpServer::start(int port, std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (running()) {
+    if (error != nullptr) *error = "server already running";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(listen_fd_, /*backlog=*/8) != 0) return fail("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  if (!running()) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::handle_connection(int fd) {
+  const std::string request = read_request(fd);
+  const std::size_t line_end = request.find('\r');
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  // Request line: METHOD SP path SP version.
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string method =
+      sp1 == std::string::npos ? "" : line.substr(0, sp1);
+  std::string path = sp1 == std::string::npos || sp2 == std::string::npos
+                         ? ""
+                         : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    send_all(fd, http_response("405 Method Not Allowed", "text/plain",
+                               "method not allowed\n"));
+    return;
+  }
+  if (path == "/metrics") {
+    send_all(fd, http_response("200 OK",
+                               "text/plain; version=0.0.4; charset=utf-8",
+                               registry_.prometheus_text()));
+  } else if (path == "/healthz") {
+    send_all(fd, http_response("200 OK", "text/plain", "ok\n"));
+  } else {
+    send_all(fd, http_response("404 Not Found", "text/plain",
+                               "not found (try /metrics)\n"));
+  }
+}
+
+}  // namespace fedcl::telemetry

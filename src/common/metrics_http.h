@@ -1,0 +1,60 @@
+// Minimal live /metrics exporter: a poll-based HTTP server on the
+// loopback interface that renders telemetry::Registry::prometheus_text()
+// on demand, so long runs can be scraped mid-flight instead of only
+// post-mortem via --telemetry-prom. The body served for GET /metrics
+// is byte-identical to the --telemetry-prom dump for the same registry
+// state (both call prometheus_text()).
+//
+// Scope is deliberately tiny: one background thread, one connection at
+// a time, GET only, Connection: close. That is exactly what a
+// Prometheus scrape (or curl) needs and nothing a training loop has to
+// pay for — the hot path never touches the server; rendering happens
+// on the scraper's thread.
+//
+// Endpoints:
+//   GET /metrics  -> 200, text/plain; version=0.0.4 exposition
+//   GET /healthz  -> 200, "ok\n"
+//   anything else -> 404 (non-GET: 405)
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace fedcl::telemetry {
+
+class Registry;
+
+class MetricsHttpServer {
+ public:
+  explicit MetricsHttpServer(Registry& registry);
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Binds 127.0.0.1:port (port 0 picks an ephemeral port) and starts
+  // the serving thread. Returns false and fills *error (when given) if
+  // the socket cannot be set up; the server is then not running.
+  bool start(int port, std::string* error = nullptr);
+
+  // Stops the serving thread and closes the socket. Idempotent; the
+  // destructor calls it.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (resolved after start when 0 was requested).
+  int port() const { return port_; }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  Registry& registry_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace fedcl::telemetry

@@ -8,10 +8,22 @@
 
 #include "common/json.h"
 #include "common/logging.h"
+#include "common/run_info.h"
 
 namespace fedcl::telemetry {
 
 namespace {
+
+// First line of every JSONL stream: schema id + the run manifest, so
+// any stream identifies the code, config, and host that produced it.
+void write_meta_line(std::ostream& out) {
+  json::Value meta = json::Value::object();
+  meta["type"] = "meta";
+  meta["version"] = 1;
+  meta["schema"] = "fedcl-telemetry-v1";
+  meta["run"] = runinfo::to_json();
+  out << meta.dump() << '\n';
+}
 
 Labels canonical(Labels labels) {
   std::sort(labels.begin(), labels.end());
@@ -123,19 +135,11 @@ const std::vector<double>& norm_buckets() {
 JsonlSink::JsonlSink(const std::string& path) : file_(path) {
   if (!file_) return;
   out_ = &file_;
-  json::Value meta = json::Value::object();
-  meta["type"] = "meta";
-  meta["version"] = 1;
-  meta["schema"] = "fedcl-telemetry-v1";
-  *out_ << meta.dump() << '\n';
+  write_meta_line(*out_);
 }
 
 JsonlSink::JsonlSink(std::ostream* out) : out_(out) {
-  json::Value meta = json::Value::object();
-  meta["type"] = "meta";
-  meta["version"] = 1;
-  meta["schema"] = "fedcl-telemetry-v1";
-  *out_ << meta.dump() << '\n';
+  write_meta_line(*out_);
 }
 
 JsonlSink::~JsonlSink() { flush(); }

@@ -1,0 +1,410 @@
+#!/usr/bin/env python3
+"""Render and gate fedcl bench documents (stdlib only).
+
+Subcommands:
+
+  report FILE [--fig3-csv PATH]
+      Print the run manifest and paper-style tables from a
+      BENCH_suite.json or a single BENCH_<name>.json. With --fig3-csv,
+      also write the Figure 3 gradient-norm series as CSV.
+
+  diff OLD NEW [--threshold 0.10] [--class-threshold CLASS=THR]
+               [--ignore-class CLASS] [--bench NAME]
+      Compare the gating metrics of two bench documents. A metric
+      regresses when it moves past the threshold in its "worse"
+      direction (better=lower: new > old*(1+thr); better=higher:
+      new < old*(1-thr)). Exits 1 if anything regressed. Absolute
+      timings only transfer between runs on the same hardware — pass
+      --ignore-class time when diffing across hosts (CI does).
+
+  validate FILE [--schema docs/bench.schema.json]
+      Validate a bench document against the repo schema (built-in
+      JSON-Schema subset: type/const/enum/required/properties/
+      additionalProperties/patternProperties/items/minimum/minLength/
+      oneOf/$ref). Exits 1 on the first violation.
+"""
+
+import argparse
+import csv
+import json
+import re
+import sys
+
+SUITE_SCHEMA = "fedcl-bench-suite-v1"
+
+
+# ---------------------------------------------------------------------------
+# Mini JSON-Schema validator (the subset docs/bench.schema.json uses).
+
+
+class SchemaError(Exception):
+    pass
+
+
+def _resolve_ref(schema_root, ref):
+    if not ref.startswith("#/"):
+        raise SchemaError(f"unsupported $ref: {ref}")
+    node = schema_root
+    for part in ref[2:].split("/"):
+        if not isinstance(node, dict) or part not in node:
+            raise SchemaError(f"dangling $ref: {ref}")
+        node = node[part]
+    return node
+
+
+def _type_ok(value, expected):
+    checks = {
+        "object": lambda v: isinstance(v, dict),
+        "array": lambda v: isinstance(v, list),
+        "string": lambda v: isinstance(v, str),
+        "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+        "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+        "boolean": lambda v: isinstance(v, bool),
+        "null": lambda v: v is None,
+    }
+    if expected not in checks:
+        raise SchemaError(f"unsupported type: {expected}")
+    return checks[expected](value)
+
+
+def validate_schema(value, schema, schema_root, path="$"):
+    """Returns a list of violation strings (empty when valid)."""
+    if "$ref" in schema:
+        return validate_schema(value, _resolve_ref(schema_root, schema["$ref"]),
+                               schema_root, path)
+    errors = []
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']!r}")
+    if "type" in schema and not _type_ok(value, schema["type"]):
+        errors.append(f"{path}: expected type {schema['type']}, got "
+                      f"{type(value).__name__}")
+        return errors  # Structural checks below assume the type matched.
+    if "oneOf" in schema:
+        sub_errors = []
+        matches = 0
+        for i, sub in enumerate(schema["oneOf"]):
+            errs = validate_schema(value, sub, schema_root, f"{path}(oneOf[{i}])")
+            if errs:
+                sub_errors.extend(errs)
+            else:
+                matches += 1
+        if matches != 1:
+            errors.append(f"{path}: matched {matches} of {len(schema['oneOf'])} "
+                          f"oneOf branches")
+            if matches == 0:
+                errors.extend(sub_errors)
+    if isinstance(value, str) and "minLength" in schema:
+        if len(value) < schema["minLength"]:
+            errors.append(f"{path}: string shorter than {schema['minLength']}")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required key {req!r}")
+        props = schema.get("properties", {})
+        patterns = schema.get("patternProperties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            matched = False
+            if key in props:
+                matched = True
+                errors.extend(validate_schema(item, props[key], schema_root,
+                                              f"{path}.{key}"))
+            for pattern, sub in patterns.items():
+                if re.search(pattern, key):
+                    matched = True
+                    errors.extend(validate_schema(item, sub, schema_root,
+                                                  f"{path}.{key}"))
+            if not matched:
+                if additional is False:
+                    errors.append(f"{path}: unexpected key {key!r}")
+                elif isinstance(additional, dict):
+                    errors.extend(validate_schema(item, additional, schema_root,
+                                                  f"{path}.{key}"))
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            errors.extend(validate_schema(item, schema["items"], schema_root,
+                                          f"{path}[{i}]"))
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Document access.
+
+
+def load_doc(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"fedcl_report: cannot load {path}: {e}")
+
+
+def iter_bench_docs(doc):
+    """Yields (bench_short_name, bench_doc) from a suite or single doc."""
+    if doc.get("schema") == SUITE_SCHEMA:
+        for name, entry in sorted(doc.get("benches", {}).items()):
+            if entry.get("status") == "ok":
+                yield name, entry["doc"]
+    elif "bench" in doc and "metrics" in doc:
+        name = doc["bench"]
+        if name.startswith("bench_"):
+            name = name[len("bench_"):]
+        yield name, doc
+    else:
+        sys.exit("fedcl_report: unrecognized document (neither a "
+                 f"{SUITE_SCHEMA} suite nor a single bench doc)")
+
+
+def collect_metrics(doc, bench_filter=None):
+    """Returns {"<bench>.<metric>": {value, better, class}}."""
+    metrics = {}
+    for name, bench_doc in iter_bench_docs(doc):
+        if bench_filter and name != bench_filter:
+            continue
+        for mname, m in bench_doc.get("metrics", {}).items():
+            metrics[f"{name}.{mname}"] = m
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# report
+
+
+def fmt_run(run):
+    git = run.get("git", {})
+    build = run.get("build", {})
+    host = run.get("host", {})
+    dirty = "-dirty" if git.get("dirty") else ""
+    lines = [
+        f"git:    {git.get('sha', 'unknown')}{dirty}",
+        f"build:  {build.get('type', '?')} ({build.get('compiler', '?')})",
+        f"host:   {host.get('name', '?')} "
+        f"({host.get('hardware_threads', '?')} hw threads, "
+        f"{host.get('compute_threads', '?')} compute)",
+        f"seed:   {run.get('seed', '?')}   scale: {run.get('scale', '?')}",
+    ]
+    return "\n".join(lines)
+
+
+def print_grid(title, rows, row_key, col_key, val_key, fmt="{:.3f}"):
+    cols = sorted({r[col_key] for r in rows}, key=str)
+    keys = []
+    for r in rows:
+        if r[row_key] not in keys:
+            keys.append(r[row_key])
+    cell = {}
+    for r in rows:
+        cell[(r[row_key], r[col_key])] = r[val_key]
+    widths = [max(len(str(k)) for k in keys + [row_key])]
+    widths += [max(len(str(c)), 8) for c in cols]
+    print(f"\n{title}")
+    header = [row_key.ljust(widths[0])] + [
+        str(c).rjust(w) for c, w in zip(cols, widths[1:])
+    ]
+    print("  " + "  ".join(header))
+    for k in keys:
+        out = [str(k).ljust(widths[0])]
+        for c, w in zip(cols, widths[1:]):
+            v = cell.get((k, c))
+            out.append(("-" if v is None else fmt.format(v)).rjust(w))
+        print("  " + "  ".join(out))
+
+
+def cmd_report(args):
+    doc = load_doc(args.file)
+    run = doc.get("run", {})
+    print("== run manifest ==")
+    print(fmt_run(run))
+    for name, bench_doc in iter_bench_docs(doc):
+        results = bench_doc.get("results", [])
+        if name == "table2_accuracy" and results:
+            ks = sorted({r["total_clients"] for r in results})
+            for k in ks:
+                rows = [
+                    {
+                        "policy": r["policy"],
+                        "Kt/K": f"{r['percent']}%",
+                        "acc": r["final_accuracy"],
+                    }
+                    for r in results
+                    if r["total_clients"] == k
+                ]
+                print_grid(f"Table II — accuracy, K={k} total clients",
+                           rows, "policy", "Kt/K", "acc")
+        elif name == "table3_timecost" and results:
+            print_grid("Table III — ms per local iteration",
+                       results, "policy", "dataset", "ms_per_iter",
+                       fmt="{:.2f}")
+        elif name == "table6_privacy" and results:
+            rows = [
+                {
+                    "dataset": r["dataset"],
+                    "eps": "CDP L=1",
+                    "v": r["cdp_instance_eps_L1"],
+                }
+                for r in results
+            ] + [
+                {
+                    "dataset": r["dataset"],
+                    "eps": "CDP L=100",
+                    "v": r["cdp_instance_eps_L100"],
+                }
+                for r in results
+            ] + [
+                {
+                    "dataset": r["dataset"],
+                    "eps": "SDP client",
+                    "v": r["sdp_client_eps"],
+                }
+                for r in results
+            ]
+            print_grid("Table VI — epsilon at delta=1e-5 (moments accountant)",
+                       rows, "dataset", "eps", "v", fmt="{:.4f}")
+        elif name == "fig3_gradnorm" and results:
+            if args.fig3_csv:
+                with open(args.fig3_csv, "w", newline="",
+                          encoding="utf-8") as fh:
+                    w = csv.writer(fh)
+                    w.writerow(["round", "mean_grad_norm"])
+                    for r in results:
+                        w.writerow([r["round"], r["mean_grad_norm"]])
+                print(f"\nFigure 3 series -> {args.fig3_csv} "
+                      f"({len(results)} rounds)")
+            first, last = results[0], results[-1]
+            print(f"\nFigure 3 — grad norm {first['mean_grad_norm']:.3f} "
+                  f"(round {first['round']}) -> {last['mean_grad_norm']:.3f} "
+                  f"(round {last['round']})")
+        else:
+            metrics = bench_doc.get("metrics", {})
+            print(f"\n{name} — {len(metrics)} gating metrics")
+            for mname, m in sorted(metrics.items()):
+                print(f"  {mname:<44} {m['value']:>12.6g}  "
+                      f"(better={m['better']}, class={m['class']})")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# diff
+
+
+def cmd_diff(args):
+    old_doc = load_doc(args.old)
+    new_doc = load_doc(args.new)
+    thresholds = {}
+    for spec in args.class_threshold or []:
+        if "=" not in spec:
+            sys.exit(f"fedcl_report: bad --class-threshold {spec!r} "
+                     "(want CLASS=FRACTION)")
+        cls, thr = spec.split("=", 1)
+        thresholds[cls] = float(thr)
+    ignored = set(args.ignore_class or [])
+
+    old_metrics = collect_metrics(old_doc, args.bench)
+    new_metrics = collect_metrics(new_doc, args.bench)
+
+    regressions, improvements, skipped = [], [], 0
+    for name, old in sorted(old_metrics.items()):
+        new = new_metrics.get(name)
+        if new is None:
+            print(f"MISSING    {name} (present in old, absent in new)")
+            regressions.append(name)
+            continue
+        cls = old.get("class", "ratio")
+        if cls in ignored:
+            skipped += 1
+            continue
+        thr = thresholds.get(cls, args.threshold)
+        ov, nv = old["value"], new["value"]
+        better = old.get("better", "lower")
+        if better == "lower":
+            regressed = nv > ov * (1 + thr) + 1e-12
+            improved = nv < ov * (1 - thr) - 1e-12
+        else:
+            regressed = nv < ov * (1 - thr) - 1e-12
+            improved = nv > ov * (1 + thr) + 1e-12
+        delta = (nv - ov) / ov * 100 if ov != 0 else float("inf")
+        if regressed:
+            regressions.append(name)
+            print(f"REGRESSION {name}: {ov:.6g} -> {nv:.6g} "
+                  f"({delta:+.1f}%, better={better}, thr={thr:.0%})")
+        elif improved:
+            improvements.append(name)
+            print(f"improved   {name}: {ov:.6g} -> {nv:.6g} ({delta:+.1f}%)")
+    only_new = sorted(set(new_metrics) - set(old_metrics))
+    for name in only_new:
+        print(f"new        {name} = {new_metrics[name]['value']:.6g}")
+    print(f"\ndiff: {len(old_metrics)} baseline metrics, "
+          f"{len(regressions)} regressions, {len(improvements)} improvements, "
+          f"{skipped} skipped (ignored classes), {len(only_new)} new")
+    return 1 if regressions else 0
+
+
+# ---------------------------------------------------------------------------
+# validate
+
+
+def cmd_validate(args):
+    doc = load_doc(args.file)
+    schema = load_doc(args.schema)
+    if doc.get("schema") != SUITE_SCHEMA and "bench" in doc:
+        # Single-bench documents validate against the bench_doc shape.
+        schema = {"$ref": "#/definitions/bench_doc",
+                  "definitions": schema.get("definitions", {})}
+        root = schema
+    else:
+        root = schema
+    try:
+        errors = validate_schema(doc, schema, root)
+    except SchemaError as e:
+        sys.exit(f"fedcl_report: schema error: {e}")
+    if errors:
+        for err in errors[:20]:
+            print(f"INVALID {err}")
+        print(f"\nvalidate: {len(errors)} violations")
+        return 1
+    print(f"validate: {args.file} conforms to {args.schema}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        prog="fedcl_report.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="render paper-style tables")
+    p_report.add_argument("file")
+    p_report.add_argument("--fig3-csv", default=None,
+                          help="write the Figure 3 series as CSV")
+    p_report.set_defaults(func=cmd_report)
+
+    p_diff = sub.add_parser("diff", help="gate NEW against OLD")
+    p_diff.add_argument("old")
+    p_diff.add_argument("new")
+    p_diff.add_argument("--threshold", type=float, default=0.10,
+                        help="default regression threshold (fraction)")
+    p_diff.add_argument("--class-threshold", action="append", metavar="CLS=THR",
+                        help="per-class threshold override, e.g. time=0.25")
+    p_diff.add_argument("--ignore-class", action="append", metavar="CLS",
+                        help="skip a metric class (e.g. time across hosts)")
+    p_diff.add_argument("--bench", default=None,
+                        help="only diff one bench's metrics")
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_validate = sub.add_parser("validate", help="validate against the schema")
+    p_validate.add_argument("file")
+    p_validate.add_argument("--schema", default="docs/bench.schema.json")
+    p_validate.set_defaults(func=cmd_validate)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

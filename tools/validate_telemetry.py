@@ -49,6 +49,39 @@ def check_common(event, errors):
     check_labels(event, errors)
 
 
+def check_run_manifest(run, errors):
+    """The meta event carries the run manifest (docs/METRICS.md)."""
+    if not isinstance(run, dict):
+        errors.append("meta 'run' must be an object (the run manifest)")
+        return
+    git = run.get("git")
+    if (
+        not isinstance(git, dict)
+        or not isinstance(git.get("sha"), str)
+        or not git["sha"]
+        or not isinstance(git.get("dirty"), bool)
+    ):
+        errors.append("run.git must carry a non-empty 'sha' and bool 'dirty'")
+    for section, keys in (
+        ("build", ("type", "compiler")),
+        ("host", ("name",)),
+    ):
+        obj = run.get(section)
+        if not isinstance(obj, dict) or not all(
+            isinstance(obj.get(k), str) for k in keys
+        ):
+            errors.append("run.%s must carry string %s" % (section, list(keys)))
+    if not is_num(run.get("seed")):
+        errors.append("run.seed must be a number")
+    if run.get("scale") not in ("smoke", "small", "paper"):
+        errors.append("run.scale must be smoke|small|paper")
+    argv = run.get("argv")
+    if not isinstance(argv, list) or not all(
+        isinstance(a, str) for a in argv
+    ):
+        errors.append("run.argv must be an array of strings")
+
+
 def validate_event(event):
     errors = []
     kind = event.get("type")
@@ -57,6 +90,7 @@ def validate_event(event):
             errors.append("meta 'schema' must be 'fedcl-telemetry-v1'")
         if not isinstance(event.get("version"), int) or event["version"] < 1:
             errors.append("meta 'version' must be a positive integer")
+        check_run_manifest(event.get("run"), errors)
     elif kind == "span":
         check_common(event, errors)
         if not is_num(event.get("dur_ms")) or event["dur_ms"] < 0:
