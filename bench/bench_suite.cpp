@@ -27,13 +27,14 @@ namespace {
 using fedcl::json::Value;
 
 // The standard suite: one accuracy table, one sweep table, the pure
-// accounting table, the Fig. 3 series, the fault-tolerance extension
-// and the hot-path perf bench. Chosen to cover every gating metric
-// class (accuracy / epsilon / ratio / count / time) while staying
-// tractable at FEDCL_SCALE=smoke on one core.
+// accounting table, the Fig. 3 series, the fault-tolerance and async
+// extensions, and the hot-path perf bench. Chosen to cover every
+// gating metric class (accuracy / epsilon / ratio / fraction / count /
+// time) while staying tractable at FEDCL_SCALE=smoke on one core.
 const std::vector<std::string> kSuite = {
     "table1_datasets", "table2_accuracy", "table6_privacy",
-    "fig3_gradnorm",   "ext_faults",      "perf_hotpath",
+    "fig3_gradnorm",   "ext_faults",      "ext_async",
+    "perf_hotpath",
 };
 
 bool read_file(const std::string& path, std::string* out) {

@@ -9,6 +9,7 @@
 //   fl_simulator --dataset=lfw --policy=fed-cdp-decay --attack
 //   fl_simulator --dataset=mnist --policy=non-private --prune=0.3 \
 //                --save=global.ckpt
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -75,6 +76,10 @@ void print_usage(const char* program) {
       "          [--seed=N] [--eval-every=N]\n"
       "          [--fault-rate=P] [--min-reporting=N] [--no-retry]\n"
       "          [--screen-outlier=F] [--screen-max-norm=C]\n"
+      "          [--async] [--async-min-apply=M] [--staleness-alpha=A]\n"
+      "          [--max-staleness=S] [--retry-attempts=N]\n"
+      "          [--retry-backoff-ms=B] [--soft-deadline-ms=D]\n"
+      "          [--reduced-quorum=N]\n"
       "          [--telemetry-out=FILE.jsonl] [--telemetry-prom=FILE.prom]\n"
       "          [--metrics-port=N]  (serve /metrics over HTTP; 0 = "
       "ephemeral port)\n",
@@ -153,6 +158,16 @@ int run_simulator(const FlagParser& flags) {
       flags.get_double("screen-outlier", 0.0);
   config.screening.max_update_norm =
       flags.get_double("screen-max-norm", 0.0);
+  config.async_mode = flags.get_bool("async", false);
+  config.async.min_to_apply = flags.get_int("async-min-apply", 0);
+  config.async.staleness_alpha = flags.get_double("staleness-alpha", 0.5);
+  config.async.max_staleness = flags.get_int("max-staleness", 8);
+  config.retry.max_attempts =
+      static_cast<int>(flags.get_int("retry-attempts", 1));
+  config.retry.base_backoff_ms = flags.get_double("retry-backoff-ms", 8.0);
+  config.retry.soft_deadline_ms =
+      flags.get_double("soft-deadline-ms", 100.0);
+  config.reduced_min_reporting = flags.get_int("reduced-quorum", 0);
 
   const double sigma =
       flags.get_double("sigma", data::default_noise_scale());
@@ -211,6 +226,32 @@ int run_simulator(const FlagParser& flags) {
         static_cast<long long>(f.rejected_stale),
         static_cast<long long>(f.retried_clients),
         static_cast<long long>(f.quorum_missed));
+  }
+  if (f.retry_attempts > 0 || f.fault_accepted_stale > 0 ||
+      result.reduced_quorum_rounds > 0 || config.async_mode) {
+    std::printf(
+        "recovery: retries %lld | expired %lld | screened %lld | "
+        "accepted stale %lld | reduced-quorum rounds %lld (max noise "
+        "widening %.2fx)\n",
+        static_cast<long long>(f.retry_attempts),
+        static_cast<long long>(f.fault_expired),
+        static_cast<long long>(f.fault_screened),
+        static_cast<long long>(f.fault_accepted_stale),
+        static_cast<long long>(result.reduced_quorum_rounds),
+        result.max_noise_widening);
+  }
+  if (config.async_mode) {
+    std::printf("async: %lld aggregate applications over %lld rounds "
+                "(M=%lld, alpha=%.2f, max staleness %lld)\n",
+                static_cast<long long>(result.async_applies),
+                static_cast<long long>(config.effective_rounds()),
+                static_cast<long long>(
+                    config.async.min_to_apply > 0
+                        ? config.async.min_to_apply
+                        : std::max<std::int64_t>(
+                              1, config.clients_per_round / 2)),
+                config.async.staleness_alpha,
+                static_cast<long long>(config.async.max_staleness));
   }
 
   core::PrivacyReport report = core::account_privacy(result.privacy_setup);

@@ -1,0 +1,116 @@
+// Asynchronous, buffered FedSGD aggregation (FedBuff-style).
+//
+// The synchronous engine holds every round's surviving updates in
+// memory, screens them as a batch, and applies one mean per round. This
+// aggregator instead *streams*: each arriving update is screened,
+// staleness-weighted, and folded into a single running accumulator —
+// bounded memory (one TensorList plus one weight sum) no matter how
+// many updates are buffered — and the aggregate is applied as soon as
+// `min_to_apply` updates have been folded in, without waiting for the
+// rest of the sampled cohort. Late updates from earlier rounds are not
+// rejected: an update `s` rounds behind enters the mean with weight
+// base_weight / (1 + s)^alpha, the standard staleness-decay of the
+// asynchronous federated-optimization literature, and only updates
+// older than `max_staleness` rounds (or tagged with a future round)
+// are screened out.
+//
+// offer() is thread-safe: in the parallel round engine every worker
+// thread delivers straight into the shared accumulator. Note the
+// determinism boundary that buys: for a fixed seed the engine is
+// bitwise reproducible on a serialized executor (updates fold in
+// client order), while across different thread counts the fold order —
+// and therefore float rounding — may differ (see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+#include "core/policy.h"
+#include "fl/protocol.h"
+#include "fl/update_screening.h"
+#include "tensor/shape.h"
+
+namespace fedcl::fl {
+
+struct AsyncAggregatorConfig {
+  // M: buffered updates that trigger an apply. The trainer defaults
+  // this to max(1, clients_per_round / 2) when left at 0.
+  std::int64_t min_to_apply = 0;
+  // Staleness-decay exponent: weight = 1 / (1 + staleness)^alpha.
+  // 0 treats stale updates like fresh ones.
+  double staleness_alpha = 0.5;
+  // Oldest acceptable round tag, in rounds behind the current round.
+  std::int64_t max_staleness = 8;
+  // Per-update screening (structural / finite / absolute-norm; the
+  // median-relative band needs a population and does not apply to the
+  // streaming path).
+  ScreeningConfig screening;
+};
+
+class AsyncAggregator {
+ public:
+  // What happened to one offered update. `applied` reports whether this
+  // offer tripped the min_to_apply threshold and advanced the model.
+  struct OfferResult {
+    bool accepted = false;
+    bool applied = false;
+    std::int64_t staleness = 0;           // valid when accepted
+    std::optional<RejectReason> reject;   // set when !accepted
+  };
+
+  // `policy` and `groups` must outlive the aggregator; the policy's
+  // server-side sanitization hook runs on every accepted update before
+  // it is folded in (the same per-update placement as the synchronous
+  // Server). `rng` drives that hook, consumed in fold order.
+  AsyncAggregator(TensorList initial_weights, AsyncAggregatorConfig config,
+                  const core::PrivacyPolicy& policy,
+                  const dp::ParamGroups& groups, Rng rng);
+
+  // Screens, weights, and folds `update` into the accumulator;
+  // `now_round` is the engine's current round clock (staleness =
+  // now_round - update.round) and `base_weight` the caller's
+  // aggregation weight (1, or the client data size). Thread-safe.
+  OfferResult offer(ClientUpdate update, std::int64_t now_round,
+                    double base_weight);
+
+  // Applies whatever is buffered regardless of the threshold (the
+  // end-of-round degradation flush and the end-of-run drain). Returns
+  // true when something was applied. Thread-safe.
+  bool flush();
+
+  // Deep copy of the current global weights (what a newly dispatched
+  // client trains against). Thread-safe.
+  TensorList weights_snapshot() const;
+
+  // Number of aggregate applications so far (the model version).
+  std::int64_t applies() const;
+  // Updates folded in since the last application.
+  std::int64_t buffered() const;
+  // Whether the *last* application tripped the threshold (full) or was
+  // a below-threshold flush (reduced).
+  std::int64_t min_to_apply() const { return config_.min_to_apply; }
+
+  const AsyncAggregatorConfig& config() const { return config_; }
+
+ private:
+  // Applies accumulator_ / weight_sum_ to weights_. Caller holds mutex_.
+  void apply_locked(const char* trigger);
+
+  AsyncAggregatorConfig config_;
+  const core::PrivacyPolicy& policy_;
+  const dp::ParamGroups& groups_;
+  UpdateScreener screener_;
+  Rng rng_;
+
+  mutable std::mutex mutex_;
+  TensorList weights_;
+  std::vector<tensor::Shape> expected_shapes_;
+  TensorList accumulator_;   // sum of w_i * delta_i since the last apply
+  double weight_sum_ = 0.0;  // sum of w_i since the last apply
+  std::int64_t buffered_ = 0;
+  std::int64_t applies_ = 0;
+  ScreeningReport screening_totals_;
+};
+
+}  // namespace fedcl::fl

@@ -135,6 +135,12 @@ ClientRoundOutcome Client::run_round(nn::Sequential& model,
   outcome.update.delta = std::move(delta);
   outcome.local_train_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  // Real (not virtual) local-training latency: the empirical companion
+  // of the retry layer's soft-deadline policy.
+  telemetry::global_registry()
+      .histogram("fl.client.local_train_ms",
+                 {0.5, 1, 2, 5, 10, 25, 50, 100, 250, 1000})
+      .observe(outcome.local_train_ms);
   return outcome;
 }
 

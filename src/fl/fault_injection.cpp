@@ -46,12 +46,27 @@ FaultPlan::FaultPlan(FaultInjectionConfig config, std::uint64_t seed)
 
 FaultType FaultPlan::fault_for(std::int64_t round,
                                std::int64_t client_id) const {
+  return fault_for_attempt(round, client_id, 0);
+}
+
+FaultType FaultPlan::fault_for_attempt(std::int64_t round,
+                                       std::int64_t client_id,
+                                       int attempt) const {
   if (!config_.enabled()) return FaultType::kNone;
   // One independent draw stream per (round, client): query order and
-  // count cannot perturb the schedule.
-  Rng draw = Rng(seed_).fork("fault-plan",
-                             static_cast<std::uint64_t>(round) * 0x1000003ULL +
-                                 static_cast<std::uint64_t>(client_id));
+  // count cannot perturb the schedule. Attempt 0 keeps the historical
+  // stream; retries fork an independent one per attempt.
+  Rng draw =
+      attempt == 0
+          ? Rng(seed_).fork("fault-plan",
+                            static_cast<std::uint64_t>(round) * 0x1000003ULL +
+                                static_cast<std::uint64_t>(client_id))
+          : Rng(seed_)
+                .fork("fault-plan-retry",
+                      (static_cast<std::uint64_t>(round) * 0x1000003ULL +
+                       static_cast<std::uint64_t>(client_id)) *
+                              31ULL +
+                          static_cast<std::uint64_t>(attempt));
   if (!draw.bernoulli(config_.fault_rate)) return FaultType::kNone;
   const double pick = draw.uniform(0.0, total_weight_);
   for (std::size_t i = 0; i < cumulative_.size(); ++i) {
@@ -107,6 +122,12 @@ void RoundFailureStats::accumulate(const RoundFailureStats& other) {
   rejected_stale += other.rejected_stale;
   retried_clients += other.retried_clients;
   quorum_missed += other.quorum_missed;
+  fault_expired += other.fault_expired;
+  fault_screened += other.fault_screened;
+  fault_retried += other.fault_retried;
+  fault_accepted_stale += other.fault_accepted_stale;
+  retry_attempts += other.retry_attempts;
+  reduced_quorum_rounds += other.reduced_quorum_rounds;
 }
 
 }  // namespace fedcl::fl

@@ -61,6 +61,13 @@ class FaultPlan {
   // The fault (or kNone) scheduled for this client at this round.
   FaultType fault_for(std::int64_t round, std::int64_t client_id) const;
 
+  // The fault drawn for dispatch attempt `attempt` (0-based) of this
+  // (round, client). Attempt 0 is identical to fault_for(round, client);
+  // retries draw from an independent stream so a re-dispatched client
+  // faces the same fault *rate*, not the same fault.
+  FaultType fault_for_attempt(std::int64_t round, std::int64_t client_id,
+                              int attempt) const;
+
   const FaultInjectionConfig& config() const { return config_; }
 
  private:
@@ -107,6 +114,20 @@ struct RoundFailureStats {
   std::int64_t retried_clients = 0;  // replacement clients sampled
   std::int64_t quorum_missed = 0;    // rounds skipped below min_reporting
 
+  // Per-fault *disposition*: every injected fault instance resolves to
+  // exactly one of these four, so with natural dropout excluded
+  // injected_total() == faults_resolved_total() — the soak-test
+  // invariant. (A retried dispatch that faults again is a new injected
+  // instance with its own disposition.)
+  std::int64_t fault_expired = 0;   // never delivered (no budget/run left)
+  std::int64_t fault_screened = 0;  // delivered faulty, screened out, final
+  std::int64_t fault_retried = 0;   // superseded by a fresh dispatch attempt
+  std::int64_t fault_accepted_stale = 0;  // delivered late, decay-weighted in
+  // Total re-dispatch attempts issued by the retry policy.
+  std::int64_t retry_attempts = 0;
+  // Rounds applied under the reduced-quorum degradation tier.
+  std::int64_t reduced_quorum_rounds = 0;
+
   std::int64_t injected_total() const {
     return injected_crash + injected_straggler + injected_corrupt +
            injected_bit_flip + injected_stale;
@@ -119,6 +140,13 @@ struct RoundFailureStats {
   std::int64_t handled_total() const {
     return injected_crash + injected_straggler + dropouts +
            rejected_total();
+  }
+  // Disposition total — equals injected_total() whenever every fault's
+  // fate is tracked (the retry/async engines; the legacy sync path
+  // also maintains it).
+  std::int64_t faults_resolved_total() const {
+    return fault_expired + fault_screened + fault_retried +
+           fault_accepted_stale;
   }
 
   void accumulate(const RoundFailureStats& other);

@@ -1,0 +1,71 @@
+#include "fl/retry_policy.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fedcl::fl {
+
+const char* degradation_tier_name(DegradationTier tier) {
+  switch (tier) {
+    case DegradationTier::kFullQuorum:
+      return "full-quorum";
+    case DegradationTier::kReducedQuorum:
+      return "reduced-quorum";
+    case DegradationTier::kSkipRound:
+      return "skip";
+  }
+  return "unknown";
+}
+
+RetryPolicy::RetryPolicy(RetryPolicyConfig config) : config_(config) {
+  FEDCL_CHECK_GE(config_.max_attempts, 1);
+  FEDCL_CHECK_GE(config_.base_backoff_ms, 0.0);
+  FEDCL_CHECK_GE(config_.backoff_multiplier, 1.0);
+  FEDCL_CHECK(config_.jitter_frac >= 0.0 && config_.jitter_frac < 1.0)
+      << "jitter fraction " << config_.jitter_frac;
+  FEDCL_CHECK_GT(config_.soft_deadline_ms, 0.0);
+  FEDCL_CHECK_GE(config_.base_latency_ms, 0.0);
+  FEDCL_CHECK_GE(config_.straggler_delay_ms, 0.0);
+}
+
+bool RetryPolicy::transient(FaultType fault) const {
+  switch (fault) {
+    case FaultType::kCrash:
+    case FaultType::kCorruptDelta:
+    case FaultType::kBitFlip:
+      return true;
+    case FaultType::kNone:
+    case FaultType::kStraggler:
+    case FaultType::kStaleRound:
+      return false;
+  }
+  return false;
+}
+
+double RetryPolicy::backoff_ms(int attempt, Rng& rng) const {
+  FEDCL_CHECK_GE(attempt, 1);
+  if (attempt == 1) return 0.0;
+  const double base =
+      config_.base_backoff_ms *
+      std::pow(config_.backoff_multiplier, static_cast<double>(attempt - 2));
+  const double jitter =
+      rng.uniform(1.0 - config_.jitter_frac, 1.0 + config_.jitter_frac);
+  return base * jitter;
+}
+
+double RetryPolicy::latency_ms(FaultType fault, Rng& rng) const {
+  double latency = config_.base_latency_ms * rng.uniform(0.5, 1.5);
+  if (fault == FaultType::kStraggler) {
+    latency += config_.straggler_delay_ms * rng.uniform(0.5, 1.5);
+  }
+  return latency;
+}
+
+std::int64_t RetryPolicy::rounds_late(double elapsed_ms) const {
+  if (elapsed_ms <= config_.soft_deadline_ms) return 0;
+  return static_cast<std::int64_t>(elapsed_ms / config_.soft_deadline_ms);
+}
+
+}  // namespace fedcl::fl

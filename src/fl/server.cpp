@@ -16,6 +16,9 @@ Server::Server(TensorList initial_weights, AggregationOptions options)
               options_.server_momentum < 1.0)
       << "server momentum " << options_.server_momentum;
   FEDCL_CHECK_GE(options_.min_reporting, 1);
+  FEDCL_CHECK_GE(options_.reduced_min_reporting, 0);
+  FEDCL_CHECK_LE(options_.reduced_min_reporting, options_.min_reporting)
+      << "reduced quorum above the full quorum";
 }
 
 std::vector<std::size_t> Server::sample_clients(std::size_t total_clients,
@@ -26,10 +29,10 @@ std::vector<std::size_t> Server::sample_clients(std::size_t total_clients,
   return rng.sample_without_replacement(total_clients, clients_per_round);
 }
 
-ScreeningReport Server::aggregate(std::vector<ClientUpdate> updates,
-                                  const core::PrivacyPolicy& policy,
-                                  const dp::ParamGroups& groups, Rng& rng,
-                                  const std::vector<double>* update_weights) {
+AggregateOutcome Server::aggregate(std::vector<ClientUpdate> updates,
+                                   const core::PrivacyPolicy& policy,
+                                   const dp::ParamGroups& groups, Rng& rng,
+                                   const std::vector<double>* update_weights) {
   if (update_weights != nullptr) {
     FEDCL_CHECK_EQ(update_weights->size(), updates.size());
   }
@@ -42,14 +45,24 @@ ScreeningReport Server::aggregate(std::vector<ClientUpdate> updates,
     weights_buffer = *update_weights;
     kept_weights = &weights_buffer;
   }
-  ScreeningReport report;
+  AggregateOutcome outcome;
+  ScreeningReport& report = outcome.screening;
   std::vector<ClientUpdate> accepted =
       screener_.screen(std::move(updates), tensor::list::shapes_of(weights_),
                        round_, report, kept_weights);
-  if (report.accepted < options_.min_reporting) {
+  if (report.accepted >= options_.min_reporting) {
+    outcome.tier = DegradationTier::kFullQuorum;
+  } else if (options_.reduced_min_reporting > 0 &&
+             report.accepted >= options_.reduced_min_reporting) {
+    // Degraded tier: apply anyway and surface how much wider the
+    // per-update noise is than the full quorum would have left it.
+    outcome.tier = DegradationTier::kReducedQuorum;
+    outcome.noise_widening = static_cast<double>(options_.min_reporting) /
+                             static_cast<double>(report.accepted);
+  } else {
     // Quorum missed: leave the model and round untouched; the caller
     // records the skip.
-    return report;
+    return outcome;
   }
 
   double total_weight = 0.0;
@@ -79,10 +92,11 @@ ScreeningReport Server::aggregate(std::vector<ClientUpdate> updates,
     tensor::list::add_(weights_, mean_delta, 1.0f);
   }
   ++round_;
+  outcome.applied = true;
   telemetry::global_registry()
       .counter("fl.server.updates_accepted_total")
       .add(report.accepted);
-  return report;
+  return outcome;
 }
 
 void Server::skip_round() {

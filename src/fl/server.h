@@ -7,6 +7,7 @@
 
 #include "core/policy.h"
 #include "fl/protocol.h"
+#include "fl/retry_policy.h"
 #include "fl/update_screening.h"
 
 namespace fedcl {
@@ -25,6 +26,25 @@ struct AggregationOptions {
   // below it aggregate() leaves the model untouched and the caller
   // falls back to skip_round().
   std::int64_t min_reporting = 1;
+  // Graceful-degradation floor: when the full quorum is missed but at
+  // least this many updates survive screening, the round is applied
+  // anyway under the reduced-quorum tier, with the noise-widening
+  // factor surfaced in the outcome. 0 (default) disables the tier and
+  // keeps the historical binary apply-or-skip behavior.
+  std::int64_t reduced_min_reporting = 0;
+};
+
+// What aggregate() did with the round's updates. `noise_widening` is
+// min_reporting / accepted when the reduced-quorum tier fired: the DP
+// noise was calibrated for a min_reporting-sized mean, so averaging
+// over fewer updates leaves proportionally *more* noise per update —
+// the privacy guarantee is untouched, utility pays instead, and the
+// factor quantifies by how much.
+struct AggregateOutcome {
+  ScreeningReport screening;
+  DegradationTier tier = DegradationTier::kSkipRound;
+  bool applied = false;
+  double noise_widening = 1.0;
 };
 
 class Server {
@@ -55,11 +75,11 @@ class Server {
   // with equal weights this reduces to FedSGD, and since every delta
   // is relative to the same W(t) it is also exactly FedAveraging
   // (Section IV notes the two are mathematically equivalent).
-  ScreeningReport aggregate(std::vector<ClientUpdate> updates,
-                            const core::PrivacyPolicy& policy,
-                            const dp::ParamGroups& groups, Rng& rng,
-                            const std::vector<double>* update_weights =
-                                nullptr);
+  AggregateOutcome aggregate(std::vector<ClientUpdate> updates,
+                             const core::PrivacyPolicy& policy,
+                             const dp::ParamGroups& groups, Rng& rng,
+                             const std::vector<double>* update_weights =
+                                 nullptr);
 
   // Advances the round without an update (e.g. every sampled client
   // dropped out — the unstable-availability case of [2]).

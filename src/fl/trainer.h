@@ -19,7 +19,9 @@
 #include "core/accounting.h"
 #include "core/policy.h"
 #include "data/benchmarks.h"
+#include "fl/async_aggregator.h"
 #include "fl/fault_injection.h"
+#include "fl/retry_policy.h"
 #include "fl/update_screening.h"
 
 namespace fedcl::fl {
@@ -72,6 +74,29 @@ struct FlExperimentConfig {
   // estimator) and models with stochastic layers are serialized
   // automatically.
   bool parallel_clients = true;
+  // Asynchronous (FedBuff-style) round engine: updates stream into a
+  // bounded-memory accumulator (fl/async_aggregator.h) and the model
+  // advances as soon as `async.min_to_apply` updates are buffered;
+  // stragglers arrive `rounds_late` rounds later and are folded in with
+  // a 1/(1+staleness)^alpha weight instead of being rejected. The
+  // sync engine is untouched when false. Determinism boundary: with
+  // parallel_clients=false the async engine is bitwise reproducible for
+  // a fixed seed; across thread counts the fold order (and therefore
+  // float rounding) may differ — see DESIGN.md.
+  bool async_mode = false;
+  // Async engine knobs. min_to_apply <= 0 defaults to
+  // max(1, clients_per_round / 2); `async.screening` is overridden with
+  // `screening` above (one source of truth).
+  AsyncAggregatorConfig async;
+  // Deadline / retry / backoff for client dispatch, in both engines.
+  // The default (max_attempts = 1) keeps the sync engine bitwise
+  // identical to the pre-retry behavior.
+  RetryPolicyConfig retry;
+  // Graceful-degradation floor for the sync engine (see
+  // AggregationOptions::reduced_min_reporting); 0 keeps the binary
+  // apply-or-skip behavior. In the async engine the analogous tier is
+  // the end-of-round partial flush, which is always on.
+  std::int64_t reduced_min_reporting = 0;
 
   std::int64_t effective_rounds() const {
     return rounds > 0 ? rounds : bench.rounds;
@@ -103,6 +128,16 @@ struct FlRunResult {
   std::int64_t dropped_rounds = 0;
   // Rounds where an aggregate was applied (= rounds - dropped_rounds).
   std::int64_t completed_rounds = 0;
+  // Async engine: total aggregate applications (the final model
+  // version); a round can apply more than once.
+  std::int64_t async_applies = 0;
+  // Rounds applied under the reduced-quorum degradation tier (sync:
+  // below min_reporting but at or above reduced_min_reporting; async:
+  // end-of-round partial flush).
+  std::int64_t reduced_quorum_rounds = 0;
+  // Largest noise-widening factor any degraded round incurred (1.0 when
+  // every applied round met its full quorum).
+  double max_noise_widening = 1.0;
   // Sum of the per-round failure stats.
   RoundFailureStats total_failures;
   // The trained global model parameters (deep copy) — load into a

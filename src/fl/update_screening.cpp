@@ -84,6 +84,33 @@ UpdateScreener::UpdateScreener(ScreeningConfig config) : config_(config) {
   FEDCL_CHECK_GE(config_.max_update_norm, 0.0);
 }
 
+ScreenVerdict UpdateScreener::screen_one(
+    const ClientUpdate& update, const std::vector<tensor::Shape>& expected,
+    std::int64_t current_round, std::int64_t max_staleness,
+    ScreeningReport& report) const {
+  FEDCL_CHECK_GE(max_staleness, 0);
+  ScreenVerdict verdict;
+  verdict.staleness = current_round - update.round;
+  if (verdict.staleness < 0 || verdict.staleness > max_staleness) {
+    // Future-tagged (replayed or forged clock) or too far behind to be
+    // worth a decayed weight.
+    verdict.reject = RejectReason::kStaleRound;
+  } else if (!shapes_match(update, expected)) {
+    verdict.reject = RejectReason::kShapeMismatch;
+  } else if (!all_finite(update.delta)) {
+    verdict.reject = RejectReason::kNonFinite;
+  } else if (config_.max_update_norm > 0.0 &&
+             tensor::list::l2_norm(update.delta) > config_.max_update_norm) {
+    verdict.reject = RejectReason::kNormOutlier;
+  }
+  if (verdict.reject.has_value()) {
+    report.count(*verdict.reject);
+  } else {
+    ++report.accepted;
+  }
+  return verdict;
+}
+
 std::vector<ClientUpdate> UpdateScreener::screen(
     std::vector<ClientUpdate> updates,
     const std::vector<tensor::Shape>& expected, std::int64_t current_round,

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "fl/protocol.h"
@@ -37,6 +38,19 @@ struct ScreeningConfig {
   double max_update_norm = 0.0;
   // Structural / finite / stale checks are always on: an update that
   // fails them cannot be aggregated at all.
+};
+
+// Verdict for a single streamed update (the async path screens updates
+// one at a time as they arrive, so staleness becomes a *measurement*
+// the caller can weight by instead of a bare reject).
+struct ScreenVerdict {
+  // Reject reason, or nullopt when the update is acceptable.
+  std::optional<RejectReason> reject;
+  // Rounds behind the current round (current_round - update.round).
+  // Valid whenever the round tag parsed sanely; 0 for a fresh update.
+  std::int64_t staleness = 0;
+
+  bool accepted() const { return !reject.has_value(); }
 };
 
 // Per-reason rejection counts for one screening pass.
@@ -68,6 +82,20 @@ class UpdateScreener {
                                    ScreeningReport& report,
                                    std::vector<double>* weights = nullptr)
       const;
+
+  // Streaming form: screens one update as it arrives and returns the
+  // verdict *with* the computed staleness, so the caller can weight a
+  // late update instead of dropping it. `max_staleness` is the oldest
+  // round tag still acceptable (0 reproduces the synchronous
+  // semantics: any round mismatch rejects); updates tagged with a
+  // future round always reject as kStaleRound. The median-relative
+  // norm band needs a population and therefore does not apply here —
+  // only the absolute max_update_norm cap does.
+  ScreenVerdict screen_one(const ClientUpdate& update,
+                           const std::vector<tensor::Shape>& expected,
+                           std::int64_t current_round,
+                           std::int64_t max_staleness,
+                           ScreeningReport& report) const;
 
   const ScreeningConfig& config() const { return config_; }
 

@@ -1,0 +1,428 @@
+// The asynchronous round engine and its supporting layers: the
+// deadline/retry/backoff policy, the streaming screen_one verdict, the
+// bounded-memory FedBuff aggregator with staleness-decay weighting, the
+// reduced-quorum degradation tier, and the async trainer mode —
+// including its determinism contract on a serialized executor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "core/policy.h"
+#include "data/benchmarks.h"
+#include "fl/async_aggregator.h"
+#include "fl/retry_policy.h"
+#include "fl/server.h"
+#include "fl/trainer.h"
+#include "fl/update_screening.h"
+
+namespace fedcl::fl {
+namespace {
+
+using tensor::Tensor;
+
+// ---- retry policy ----
+
+TEST(RetryPolicy, TransientSetIsExactlyTheRedispatchableFaults) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.transient(FaultType::kCrash));
+  EXPECT_TRUE(policy.transient(FaultType::kCorruptDelta));
+  EXPECT_TRUE(policy.transient(FaultType::kBitFlip));
+  EXPECT_FALSE(policy.transient(FaultType::kNone));
+  EXPECT_FALSE(policy.transient(FaultType::kStraggler));
+  EXPECT_FALSE(policy.transient(FaultType::kStaleRound));
+}
+
+TEST(RetryPolicy, BackoffIsExponentialWithBoundedJitter) {
+  RetryPolicyConfig cfg;
+  cfg.max_attempts = 5;
+  cfg.base_backoff_ms = 10.0;
+  cfg.backoff_multiplier = 2.0;
+  cfg.jitter_frac = 0.25;
+  RetryPolicy policy(cfg);
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(policy.backoff_ms(1, rng), 0.0);  // first dispatch
+  for (int attempt = 2; attempt <= 5; ++attempt) {
+    const double nominal = 10.0 * std::pow(2.0, attempt - 2);
+    for (int rep = 0; rep < 50; ++rep) {
+      const double b = policy.backoff_ms(attempt, rng);
+      EXPECT_GE(b, nominal * 0.75);
+      EXPECT_LE(b, nominal * 1.25);
+    }
+  }
+}
+
+TEST(RetryPolicy, StragglerLatencyBlowsThroughTheDeadline) {
+  RetryPolicyConfig cfg;
+  cfg.soft_deadline_ms = 100.0;
+  cfg.base_latency_ms = 5.0;
+  cfg.straggler_delay_ms = 400.0;
+  RetryPolicy policy(cfg);
+  Rng rng(7);
+  for (int rep = 0; rep < 50; ++rep) {
+    const double healthy = policy.latency_ms(FaultType::kNone, rng);
+    const double late = policy.latency_ms(FaultType::kStraggler, rng);
+    EXPECT_LT(healthy, cfg.soft_deadline_ms);
+    EXPECT_GT(late, cfg.soft_deadline_ms);
+    EXPECT_GE(policy.rounds_late(late), 1);
+  }
+  EXPECT_EQ(policy.rounds_late(99.0), 0);
+  EXPECT_EQ(policy.rounds_late(100.0), 0);
+  EXPECT_EQ(policy.rounds_late(250.0), 2);
+}
+
+TEST(RetryPolicy, ConfigValidation) {
+  RetryPolicyConfig bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW(RetryPolicy{bad}, Error);
+  bad = {};
+  bad.soft_deadline_ms = 0.0;
+  EXPECT_THROW(RetryPolicy{bad}, Error);
+  bad = {};
+  bad.jitter_frac = 1.0;
+  EXPECT_THROW(RetryPolicy{bad}, Error);
+}
+
+TEST(FaultPlan, AttemptZeroMatchesLegacyStreamAndRetriesRedraw) {
+  FaultInjectionConfig cfg;
+  cfg.fault_rate = 0.7;
+  FaultPlan plan(cfg, 99);
+  bool any_differs = false;
+  for (std::int64_t t = 0; t < 10; ++t) {
+    for (std::int64_t c = 0; c < 10; ++c) {
+      EXPECT_EQ(plan.fault_for_attempt(t, c, 0), plan.fault_for(t, c));
+      // Retry draws are deterministic per attempt index...
+      EXPECT_EQ(plan.fault_for_attempt(t, c, 1),
+                plan.fault_for_attempt(t, c, 1));
+      if (plan.fault_for_attempt(t, c, 1) != plan.fault_for_attempt(t, c, 0))
+        any_differs = true;
+    }
+  }
+  // ...but independent of the first-attempt stream.
+  EXPECT_TRUE(any_differs);
+}
+
+// ---- streaming screen_one ----
+
+std::vector<tensor::Shape> unit_shapes() { return {tensor::Shape({2})}; }
+
+TEST(ScreenOne, ReturnsStalenessInsteadOfBareReject) {
+  UpdateScreener screener;
+  ScreeningReport report;
+  ClientUpdate u{0, /*round=*/3, {Tensor::ones({2})}};
+  ScreenVerdict v =
+      screener.screen_one(u, unit_shapes(), /*current_round=*/5,
+                          /*max_staleness=*/8, report);
+  EXPECT_TRUE(v.accepted());
+  EXPECT_EQ(v.staleness, 2);
+  EXPECT_EQ(report.accepted, 1);
+}
+
+TEST(ScreenOne, MaxStalenessZeroReproducesSyncSemantics) {
+  UpdateScreener screener;
+  ScreeningReport report;
+  ClientUpdate fresh{0, 5, {Tensor::ones({2})}};
+  ClientUpdate stale{0, 4, {Tensor::ones({2})}};
+  EXPECT_TRUE(
+      screener.screen_one(fresh, unit_shapes(), 5, 0, report).accepted());
+  ScreenVerdict v = screener.screen_one(stale, unit_shapes(), 5, 0, report);
+  ASSERT_FALSE(v.accepted());
+  EXPECT_EQ(*v.reject, RejectReason::kStaleRound);
+  EXPECT_EQ(report.rejected_stale, 1);
+}
+
+TEST(ScreenOne, FutureRoundTagAlwaysRejects) {
+  UpdateScreener screener;
+  ScreeningReport report;
+  ClientUpdate future{0, 9, {Tensor::ones({2})}};
+  ScreenVerdict v = screener.screen_one(future, unit_shapes(), 5, 8, report);
+  ASSERT_FALSE(v.accepted());
+  EXPECT_EQ(*v.reject, RejectReason::kStaleRound);
+  EXPECT_EQ(v.staleness, -4);
+}
+
+TEST(ScreenOne, StructuralAndFiniteChecksStillApply) {
+  UpdateScreener screener;
+  ScreeningReport report;
+  ClientUpdate wrong_shape{0, 5, {Tensor::ones({3})}};
+  EXPECT_EQ(*screener.screen_one(wrong_shape, unit_shapes(), 5, 8, report)
+                 .reject,
+            RejectReason::kShapeMismatch);
+  ClientUpdate poisoned{0, 5, {Tensor::ones({2})}};
+  poisoned.delta[0].data()[0] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(*screener.screen_one(poisoned, unit_shapes(), 5, 8, report)
+                 .reject,
+            RejectReason::kNonFinite);
+  ScreeningConfig capped;
+  capped.max_update_norm = 0.5;
+  UpdateScreener strict(capped);
+  ClientUpdate big{0, 5, {Tensor::ones({2})}};
+  EXPECT_EQ(*strict.screen_one(big, unit_shapes(), 5, 8, report).reject,
+            RejectReason::kNormOutlier);
+}
+
+// ---- async aggregator ----
+
+AsyncAggregatorConfig agg_config(std::int64_t min_to_apply, double alpha = 1.0,
+                                 std::int64_t max_staleness = 8) {
+  AsyncAggregatorConfig cfg;
+  cfg.min_to_apply = min_to_apply;
+  cfg.staleness_alpha = alpha;
+  cfg.max_staleness = max_staleness;
+  return cfg;
+}
+
+ClientUpdate delta_update(std::int64_t round, float v0, float v1) {
+  return {0, round, {Tensor::from_vector({2}, {v0, v1})}};
+}
+
+TEST(AsyncAggregator, AppliesExactlyAtTheMthOffer) {
+  core::NonPrivatePolicy policy;
+  dp::ParamGroups groups = {{0}};
+  AsyncAggregator agg({Tensor::zeros({2})}, agg_config(2), policy, groups,
+                      Rng(1));
+  auto r1 = agg.offer(delta_update(0, 2.0f, 4.0f), 0, 1.0);
+  EXPECT_TRUE(r1.accepted);
+  EXPECT_FALSE(r1.applied);
+  EXPECT_EQ(agg.buffered(), 1);
+  EXPECT_EQ(agg.applies(), 0);
+  auto r2 = agg.offer(delta_update(0, 4.0f, 0.0f), 0, 1.0);
+  EXPECT_TRUE(r2.applied);
+  EXPECT_EQ(agg.applies(), 1);
+  EXPECT_EQ(agg.buffered(), 0);  // accumulator reset
+  // Plain mean of the two fresh updates.
+  TensorList w = agg.weights_snapshot();
+  EXPECT_FLOAT_EQ(w[0].at(0), 3.0f);
+  EXPECT_FLOAT_EQ(w[0].at(1), 2.0f);
+}
+
+TEST(AsyncAggregator, StaleUpdateEntersWithDecayWeight) {
+  core::NonPrivatePolicy policy;
+  dp::ParamGroups groups = {{0}};
+  // alpha = 1: staleness 1 -> weight 1/2.
+  AsyncAggregator agg({Tensor::zeros({2})}, agg_config(2, 1.0), policy,
+                      groups, Rng(1));
+  auto fresh = agg.offer(delta_update(3, 6.0f, 0.0f), 3, 1.0);
+  EXPECT_EQ(fresh.staleness, 0);
+  auto stale = agg.offer(delta_update(2, 12.0f, 3.0f), 3, 1.0);
+  EXPECT_TRUE(stale.accepted);
+  EXPECT_EQ(stale.staleness, 1);
+  ASSERT_TRUE(stale.applied);
+  // (1*6 + 0.5*12) / 1.5 = 8 ; (1*0 + 0.5*3) / 1.5 = 1.
+  TensorList w = agg.weights_snapshot();
+  EXPECT_FLOAT_EQ(w[0].at(0), 8.0f);
+  EXPECT_FLOAT_EQ(w[0].at(1), 1.0f);
+}
+
+TEST(AsyncAggregator, TooStaleIsScreenedOut) {
+  core::NonPrivatePolicy policy;
+  dp::ParamGroups groups = {{0}};
+  AsyncAggregator agg({Tensor::zeros({2})}, agg_config(1, 0.5, 2), policy,
+                      groups, Rng(1));
+  auto r = agg.offer(delta_update(0, 1.0f, 1.0f), /*now_round=*/5, 1.0);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(*r.reject, RejectReason::kStaleRound);
+  EXPECT_EQ(agg.buffered(), 0);
+}
+
+TEST(AsyncAggregator, FlushAppliesAPartialBuffer) {
+  core::NonPrivatePolicy policy;
+  dp::ParamGroups groups = {{0}};
+  AsyncAggregator agg({Tensor::zeros({2})}, agg_config(4), policy, groups,
+                      Rng(1));
+  EXPECT_FALSE(agg.flush());  // nothing buffered
+  agg.offer(delta_update(0, 2.0f, 2.0f), 0, 1.0);
+  EXPECT_TRUE(agg.flush());
+  EXPECT_EQ(agg.applies(), 1);
+  EXPECT_FLOAT_EQ(agg.weights_snapshot()[0].at(0), 2.0f);
+}
+
+TEST(AsyncAggregator, EmitsStalenessAndOccupancyTelemetry) {
+  telemetry::Registry& registry = telemetry::global_registry();
+  registry.reset();
+  core::NonPrivatePolicy policy;
+  dp::ParamGroups groups = {{0}};
+  AsyncAggregator agg({Tensor::zeros({2})}, agg_config(2, 1.0), policy,
+                      groups, Rng(1));
+  agg.offer(delta_update(1, 1.0f, 0.0f), 2, 1.0);  // staleness 1
+  telemetry::TelemetrySnapshot mid = registry.snapshot();
+  EXPECT_EQ(mid.gauge_value("fl.async.buffer_occupancy"), 1.0);
+  agg.offer(delta_update(2, 1.0f, 0.0f), 2, 1.0);  // triggers apply
+  telemetry::TelemetrySnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("fl.async.stale_accepted_total"), 1);
+  EXPECT_EQ(snap.counter_value("fl.async.applied_total",
+                               {{"trigger", "quorum"}}),
+            1);
+  EXPECT_EQ(snap.gauge_value("fl.async.buffer_occupancy"), 0.0);
+  EXPECT_NE(snap.find_histogram("fl.async.staleness"), nullptr);
+}
+
+// ---- reduced-quorum degradation tier (sync server) ----
+
+TEST(Server, ReducedQuorumAppliesWithNoiseWideningSurfaced) {
+  Server server({Tensor::zeros({2})},
+                {.min_reporting = 3, .reduced_min_reporting = 1});
+  core::NonPrivatePolicy policy;
+  Rng rng(4);
+  std::vector<ClientUpdate> updates(1);
+  updates[0] = {0, 0, {Tensor::from_vector({2}, {3.0f, 9.0f})}};
+  AggregateOutcome outcome =
+      server.aggregate(std::move(updates), policy, {{0}}, rng);
+  EXPECT_TRUE(outcome.applied);
+  EXPECT_EQ(outcome.tier, DegradationTier::kReducedQuorum);
+  EXPECT_DOUBLE_EQ(outcome.noise_widening, 3.0);
+  EXPECT_FLOAT_EQ(server.weights()[0].at(0), 3.0f);
+  EXPECT_EQ(server.round(), 1);
+}
+
+TEST(Server, BelowReducedQuorumStillSkips) {
+  Server server({Tensor::ones({1})},
+                {.min_reporting = 3, .reduced_min_reporting = 2});
+  core::NonPrivatePolicy policy;
+  Rng rng(5);
+  std::vector<ClientUpdate> updates(1);
+  updates[0] = {0, 0, {Tensor::ones({1})}};
+  AggregateOutcome outcome =
+      server.aggregate(std::move(updates), policy, {{0}}, rng);
+  EXPECT_FALSE(outcome.applied);
+  EXPECT_EQ(outcome.tier, DegradationTier::kSkipRound);
+  EXPECT_FLOAT_EQ(server.weights()[0].at(0), 1.0f);
+  EXPECT_EQ(server.round(), 0);
+}
+
+TEST(Server, ReducedQuorumAboveFullQuorumRejected) {
+  EXPECT_THROW(Server({Tensor::ones({1})},
+                      {.min_reporting = 2, .reduced_min_reporting = 3}),
+               Error);
+}
+
+// ---- async trainer mode ----
+
+FlExperimentConfig async_config() {
+  FlExperimentConfig config;
+  config.bench = data::benchmark_config(data::BenchmarkId::kCancer,
+                                        BenchScale::kSmoke);
+  config.total_clients = 8;
+  config.clients_per_round = 4;
+  config.rounds = 6;
+  config.seed = 77;
+  config.async_mode = true;
+  return config;
+}
+
+TEST(AsyncTrainer, FaultFreeRunAppliesEveryRound) {
+  FlExperimentConfig config = async_config();
+  core::NonPrivatePolicy policy;
+  FlRunResult result = run_experiment(config, policy);
+  EXPECT_EQ(result.history.size(), 6u);
+  EXPECT_EQ(result.dropped_rounds, 0);
+  EXPECT_GE(result.async_applies, 6);
+  EXPECT_TRUE(std::isfinite(result.final_accuracy));
+  for (const auto& t : result.final_weights) {
+    const float* p = t.data();
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(p[i]));
+    }
+  }
+}
+
+TEST(AsyncTrainer, StragglersAreAbsorbedStaleNotDropped) {
+  FlExperimentConfig config = async_config();
+  config.rounds = 8;
+  config.faults.fault_rate = 0.5;
+  config.faults.crash_weight = 0.0;
+  config.faults.straggler_weight = 1.0;
+  config.faults.corrupt_weight = 0.0;
+  config.faults.bit_flip_weight = 0.0;
+  config.faults.stale_round_weight = 0.0;
+  core::NonPrivatePolicy policy;
+  FlRunResult result = run_experiment(config, policy);
+  EXPECT_EQ(result.dropped_rounds, 0);
+  EXPECT_GT(result.total_failures.injected_straggler, 0);
+  // At least one straggler landed inside the horizon and was folded in
+  // with a decay weight rather than rejected.
+  EXPECT_GT(result.total_failures.fault_accepted_stale, 0);
+  EXPECT_GT(
+      result.telemetry.counter_value("fl.async.stale_accepted_total"), 0);
+  EXPECT_EQ(result.total_failures.injected_total(),
+            result.total_failures.faults_resolved_total());
+}
+
+TEST(AsyncTrainer, RetryBudgetRecoversCrashes) {
+  FlExperimentConfig config = async_config();
+  config.rounds = 8;
+  config.retry.max_attempts = 3;
+  config.faults.fault_rate = 0.6;
+  config.faults.crash_weight = 1.0;
+  config.faults.straggler_weight = 0.0;
+  config.faults.corrupt_weight = 0.0;
+  config.faults.bit_flip_weight = 0.0;
+  config.faults.stale_round_weight = 0.0;
+  core::NonPrivatePolicy policy;
+  FlRunResult result = run_experiment(config, policy);
+  EXPECT_GT(result.total_failures.retry_attempts, 0);
+  EXPECT_GT(result.total_failures.fault_retried, 0);
+  EXPECT_EQ(result.total_failures.injected_total(),
+            result.total_failures.faults_resolved_total());
+  EXPECT_GT(result.telemetry.counter_value("fl.retry.attempts_total"), 0);
+}
+
+// The determinism contract: with a serialized executor
+// (parallel_clients = false) the async engine consumes every RNG
+// stream in client order, so a fixed seed reproduces the final weights
+// bit for bit. Across different thread counts the fold order of the
+// shared accumulator — and therefore float rounding — may differ; that
+// boundary is documented in DESIGN.md, not papered over here.
+TEST(AsyncTrainer, SerializedExecutorIsBitwiseReproducible) {
+  FlExperimentConfig config = async_config();
+  config.rounds = 5;
+  config.parallel_clients = false;
+  config.retry.max_attempts = 2;
+  config.faults.fault_rate = 0.4;
+  core::NonPrivatePolicy policy;
+  FlRunResult a = run_experiment(config, policy);
+  FlRunResult b = run_experiment(config, policy);
+  ASSERT_EQ(a.final_weights.size(), b.final_weights.size());
+  for (std::size_t i = 0; i < a.final_weights.size(); ++i) {
+    const Tensor& ta = a.final_weights[i];
+    const Tensor& tb = b.final_weights[i];
+    ASSERT_EQ(ta.numel(), tb.numel());
+    for (std::int64_t j = 0; j < ta.numel(); ++j) {
+      ASSERT_EQ(ta.data()[j], tb.data()[j])
+          << "weights diverged at tensor " << i << " element " << j;
+    }
+  }
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.async_applies, b.async_applies);
+}
+
+TEST(SyncTrainer, DefaultsAreBitwiseIdenticalToLegacyEngine) {
+  // The retry/degradation layers default off; a default-config sync run
+  // must produce exactly the same weights as before this feature — this
+  // guards the config plumbing (an accidentally-on retry path would
+  // change RNG consumption and show up here as a weight diff).
+  FlExperimentConfig config;
+  config.bench = data::benchmark_config(data::BenchmarkId::kCancer,
+                                        BenchScale::kSmoke);
+  config.total_clients = 8;
+  config.clients_per_round = 4;
+  config.rounds = 4;
+  config.seed = 31;
+  config.faults.fault_rate = 0.3;
+  core::NonPrivatePolicy policy;
+  FlRunResult a = run_experiment(config, policy);
+  config.retry.max_attempts = 1;  // explicit default
+  config.reduced_min_reporting = 0;
+  FlRunResult b = run_experiment(config, policy);
+  for (std::size_t i = 0; i < a.final_weights.size(); ++i) {
+    for (std::int64_t j = 0; j < a.final_weights[i].numel(); ++j) {
+      ASSERT_EQ(a.final_weights[i].data()[j], b.final_weights[i].data()[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedcl::fl

@@ -218,7 +218,7 @@ TEST(Server, AggregateScreensMixedBatch) {
   updates[1] = {1, 7, {Tensor::from_vector({2}, {100, 100})}};  // stale
   updates[2] = {2, 0, {Tensor::from_vector({2}, {4, 0})}};
   ScreeningReport report =
-      server.aggregate(std::move(updates), policy, {{0}}, rng);
+      server.aggregate(std::move(updates), policy, {{0}}, rng).screening;
   EXPECT_EQ(report.accepted, 2);
   EXPECT_EQ(report.rejected_stale, 1);
   // Mean of the two valid updates only.
@@ -237,7 +237,7 @@ TEST(Server, QuorumMissLeavesModelUntouched) {
   bad.delta[0].data()[0] = std::numeric_limits<float>::infinity();
   updates[1] = std::move(bad);
   ScreeningReport report =
-      server.aggregate(std::move(updates), policy, {{0}}, rng);
+      server.aggregate(std::move(updates), policy, {{0}}, rng).screening;
   EXPECT_EQ(report.accepted, 1);
   EXPECT_EQ(report.rejected_non_finite, 1);
   EXPECT_FLOAT_EQ(server.weights()[0].at(0), 1.0f);  // untouched
@@ -248,7 +248,8 @@ TEST(Server, EmptyBatchIsAQuorumMissNotAnAbort) {
   Server server({Tensor::ones({1})});
   core::NonPrivatePolicy policy;
   Rng rng(23);
-  ScreeningReport report = server.aggregate({}, policy, {{0}}, rng);
+  ScreeningReport report =
+      server.aggregate({}, policy, {{0}}, rng).screening;
   EXPECT_EQ(report.accepted, 0);
   EXPECT_EQ(server.round(), 0);
 }

@@ -276,7 +276,7 @@ TEST(Server, ScreensOutStaleUpdates) {
   std::vector<ClientUpdate> updates(1);
   updates[0] = {0, /*round=*/5, {Tensor::ones({1})}};
   ScreeningReport report =
-      server.aggregate(std::move(updates), policy, {{0}}, rng);
+      server.aggregate(std::move(updates), policy, {{0}}, rng).screening;
   EXPECT_EQ(report.accepted, 0);
   EXPECT_EQ(report.rejected_stale, 1);
   EXPECT_FLOAT_EQ(server.weights()[0].at(0), 0.0f);
