@@ -19,10 +19,13 @@
 // with more cores both rise, since the batched path threads its
 // matmuls and the trainer runs clients in parallel.
 //
-// Also measures the telemetry-on vs telemetry-off overhead of the
+// Also measures (a) the fused DP sanitizer's throughput and its 1->4
+// thread scaling — the clip+noise pass is parallel over examples since
+// the Philox rewrite, so it should scale near-linearly with cores —
+// and (b) the telemetry-on vs telemetry-off overhead of the
 // instrumented trainer round path (the number DESIGN.md §8 quotes):
 // --telemetry-out=FILE names the JSONL the telemetry-on leg writes
-// (default BENCH_perf_hotpath_telemetry.jsonl).
+// (default BENCH_perf_hotpath_telemetry.jsonl under bench_out_dir()).
 //
 // Emits a machine-readable JSON document after the table and writes
 // the same document to BENCH_perf_hotpath.json for CI artifacts.
@@ -30,6 +33,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -38,6 +42,8 @@
 #include "common/thread_pool.h"
 #include "core/policy.h"
 #include "data/dataset.h"
+#include "dp/clipping.h"
+#include "dp/fused_sanitize.h"
 #include "fl/client.h"
 #include "fl/trainer.h"
 #include "nn/model_zoo.h"
@@ -288,6 +294,66 @@ int main(int argc, char** argv) {
       "parallel, while the sliced baseline's B-graph loop is inherently "
       "serial per example.\n");
 
+  // ---- fused sanitizer throughput and thread scaling ----
+  // Times the full fused pipeline (norm pass + clip-scale+noise pass)
+  // over a synthetic CNN-sized [B, numel] gradient block with explicit
+  // 1- and 4-thread pools. The result is bitwise pool-size independent
+  // (counter-based Philox), so the two legs do identical arithmetic
+  // and the ratio isolates parallel efficiency.
+  double sanitize_mfloats_1t = 0.0, sanitize_mfloats_4t = 0.0;
+  {
+    const std::int64_t sanitize_batch = 32;
+    std::vector<tensor::Shape> shapes = {{75, 32},  {32}, {800, 64},
+                                         {64},      {1024, 10}, {10}};
+    tensor::list::PerExampleGrads grads =
+        tensor::list::make_per_example(sanitize_batch, shapes);
+    Rng fill_rng = root.fork("sanitize-fill", 0);
+    for (auto& t : grads.rows) t = tensor::Tensor::randn(t.shape(), fill_rng);
+    const dp::ParamGroups groups = dp::single_group(shapes.size());
+    std::int64_t floats_per_pass = 0;
+    for (const auto& t : grads.rows) floats_per_pass += t.numel();
+    const std::vector<double> bounds(
+        static_cast<std::size_t>(sanitize_batch), 1.0);
+    const std::vector<double> stddevs(
+        static_cast<std::size_t>(sanitize_batch),
+        data::default_noise_scale());
+    std::vector<std::uint64_t> keys(
+        static_cast<std::size_t>(sanitize_batch));
+    for (std::size_t j = 0; j < keys.size(); ++j)
+      keys[j] = 0x9E3779B97F4A7C15ull * (j + 1);
+    const int sanitize_reps =
+        bench_scale() == BenchScale::kSmoke ? 5 : 30;
+    auto time_sanitize = [&](std::size_t threads) {
+      using Clock = std::chrono::steady_clock;
+      ThreadPool pool(threads);
+      auto pass = [&]() {
+        const std::vector<double> norms =
+            dp::batch_group_norms(grads, groups, &pool);
+        dp::batch_scale_noise(grads, groups, norms, bounds, stddevs, keys,
+                              &pool);
+      };
+      pass();  // warmup
+      const auto start = Clock::now();
+      for (int r = 0; r < sanitize_reps; ++r) pass();
+      const double sec =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      return static_cast<double>(floats_per_pass) * sanitize_reps / sec /
+             1e6;
+    };
+    sanitize_mfloats_1t = time_sanitize(1);
+    sanitize_mfloats_4t = time_sanitize(4);
+    std::printf(
+        "\nfused sanitizer (clip+noise, B=%lld, %lld floats/example, "
+        "%d reps):\n  1 thread %.1f Mfloat/s | 4 threads %.1f Mfloat/s "
+        "| scaling %.2fx (host has %zu hw threads)\n",
+        static_cast<long long>(sanitize_batch),
+        static_cast<long long>(floats_per_pass / sanitize_batch),
+        sanitize_reps, sanitize_mfloats_1t, sanitize_mfloats_4t,
+        sanitize_mfloats_1t > 0.0 ? sanitize_mfloats_4t / sanitize_mfloats_1t
+                                  : 0.0,
+        static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  }
+
   // ---- telemetry overhead on the instrumented trainer path ----
   // The trainer is where telemetry concentrates (round/phase spans,
   // per-round points, clip-counter reads), so the honest overhead
@@ -317,8 +383,9 @@ int main(int argc, char** argv) {
   telemetry::Registry& registry = telemetry::global_registry();
   registry.clear_sinks();
   const double telemetry_off_ms = time_experiments();
-  const std::string telemetry_path =
-      flags.get("telemetry-out", "BENCH_perf_hotpath_telemetry.jsonl");
+  const std::string telemetry_path = flags.get(
+      "telemetry-out",
+      bench::bench_out_dir() + "/BENCH_perf_hotpath_telemetry.jsonl");
   registry.add_sink(std::make_unique<telemetry::JsonlSink>(telemetry_path));
   const double telemetry_on_ms = time_experiments();
   registry.flush_sinks();
@@ -365,6 +432,10 @@ int main(int argc, char** argv) {
     engine_only.push_back(std::move(row));
   }
   doc["engine_only"] = std::move(engine_only);
+  json::Value sanitize = json::Value::object();
+  sanitize["mfloats_per_s_1t"] = sanitize_mfloats_1t;
+  sanitize["mfloats_per_s_4t"] = sanitize_mfloats_4t;
+  doc["fused_sanitize"] = std::move(sanitize);
   json::Value overhead = json::Value::object();
   overhead["config"] = "cancer K=4 Kt=2 Fed-CDP";
   overhead["rounds"] = ocfg.rounds;
@@ -389,6 +460,16 @@ int main(int argc, char** argv) {
     bench::add_metric(doc, "engine_speedup." + r.model, r.speedup(),
                       "higher", "ratio");
   }
+  // Absolute throughput is host-specific (class "time"); the 1->4
+  // thread scaling ratio is the portable, gated number — it only drops
+  // if the sanitizer re-serializes.
+  bench::add_metric(doc, "sanitize_mfloats_per_s", sanitize_mfloats_1t,
+                    "higher", "time");
+  bench::add_metric(doc, "sanitize_scaling_1to4",
+                    sanitize_mfloats_1t > 0.0
+                        ? sanitize_mfloats_4t / sanitize_mfloats_1t
+                        : 0.0,
+                    "higher", "ratio");
   // Class "time": the overhead is a delta between two wall-clock
   // timings and inherits their host noise, so cross-host CI skips it
   // with --ignore-class time like the other absolute timings.

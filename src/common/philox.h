@@ -1,0 +1,72 @@
+// Counter-based (stateless) random numbers for parallel noise.
+//
+// The sequential Rng in common/rng.h hands one SplitMix64 stream from
+// draw to draw, which forces every consumer into a single visit order:
+// per-example DP noise had to be generated example-major on one thread
+// because element k's value depended on the k-1 draws before it. The
+// Philox4x32-10 generator here removes that coupling. It is a pure
+// function
+//
+//     (key, stream, counter)  ->  four 32-bit words
+//
+// with no carried state, so ANY thread can produce ANY noise element
+// without stream hand-off, and the result is independent of visit
+// order and thread count by construction.
+//
+// Keying scheme used by the DP sanitizers (see DESIGN.md §7):
+//   key     = one 64-bit draw from the caller's Rng. The Rng is already
+//             forked per (experiment seed, round, client), so the draw
+//             encodes seed/client/round; consecutive sanitize calls and
+//             consecutive examples get fresh keys in a fixed serial
+//             order (one next_u64 per example) while the expensive part
+//             — the Gaussian fill itself — is order-free.
+//   stream  = parameter-tensor index within the model.
+//   counter = element block within the tensor (each Philox block yields
+//             two Box-Muller normals, i.e. elements 2k and 2k+1).
+//
+// Philox is the generator of JAX/XLA and cuRAND; 10 rounds of the
+// 4x32 variant passes BigCrush. Not cryptographic.
+#pragma once
+
+#include <cstdint>
+
+namespace fedcl {
+
+struct PhiloxBlock {
+  std::uint32_t v[4];
+};
+
+// One Philox4x32-10 block: counter (c0..c3) encrypted under key
+// (k0, k1). Pure function, branch-free, ~20 32x32 multiplies.
+PhiloxBlock philox4x32(std::uint32_t c0, std::uint32_t c1, std::uint32_t c2,
+                       std::uint32_t c3, std::uint32_t k0, std::uint32_t k1);
+
+// Stateless standard-normal access keyed by a 64-bit key. normal_pair
+// maps (key, stream, block) to two N(0,1) doubles via Box-Muller over
+// one Philox block; element i of a logical stream is
+// pair(i >> 1) component (i & 1), so random access costs one block.
+class CounterNoise {
+ public:
+  explicit CounterNoise(std::uint64_t key) : key_(key) {}
+
+  // The two normals of block `block` in stream `stream`.
+  void normal_pair(std::uint64_t stream, std::uint64_t block, double* z0,
+                   double* z1) const;
+
+  // Gaussian element i of `stream` (random access; prefer add_scaled
+  // for contiguous fills, which uses both halves of each block).
+  double normal(std::uint64_t stream, std::uint64_t i) const;
+
+  // dst[i] += (float)(stddev * normal(stream, i)) for i in [0, n).
+  // Bitwise identical for any thread count or call slicing as long as
+  // (key, stream) and element indices are preserved.
+  void add_scaled(float* dst, std::int64_t n, std::uint64_t stream,
+                  double stddev) const;
+
+  std::uint64_t key() const { return key_; }
+
+ private:
+  std::uint64_t key_;
+};
+
+}  // namespace fedcl

@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/philox.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "dp/fused_sanitize.h"
 
 namespace fedcl::core {
 
@@ -151,26 +153,51 @@ void FedCdpPolicy::sanitize_per_example(TensorList& grad,
   const double c = schedule_.bound_at(round);
   const ParamGroups clip_groups =
       effective_groups(granularity_, groups, grad.size());
-  const std::vector<double> norms = dp::clip_per_layer(grad, clip_groups, c);
+  if (dp::noise_mode() == dp::NoiseMode::kStream) {
+    const std::vector<double> norms = dp::clip_per_layer(grad, clip_groups, c);
+    count_clipped_groups(name(), norms, c);
+    dp::GaussianMechanism mechanism(sigma_, c);
+    mechanism.sanitize(grad, rng);
+    return;
+  }
+  // Counter mode: one fused clip+noise traversal (dp/fused_sanitize.h),
+  // the same kernel the batched hook runs per example — which is what
+  // keeps the two hooks bitwise interchangeable.
+  const dp::ExampleView ex = dp::view_of(grad);
+  const std::vector<double> norms = dp::group_norms(ex, clip_groups);
   count_clipped_groups(name(), norms, c);
-  dp::GaussianMechanism mechanism(sigma_, c);
-  mechanism.sanitize(grad, rng);
+  const CounterNoise noise(rng.next_u64());
+  dp::scale_noise(ex, clip_groups, norms, c, sigma_ * c, noise);
 }
 
 void FedCdpPolicy::sanitize_per_example_batch(
     tensor::list::PerExampleGrads& grads, const ParamGroups& groups,
     std::int64_t round, Rng& rng) const {
-  // Batched Algorithm 2 lines 9-14: one pass clips every example's
-  // per-layer slice in place, then noise is drawn example-major — the
-  // exact stream order of the per-example loop this replaces.
   const double c = schedule_.bound_at(round);
   const ParamGroups clip_groups =
       effective_groups(granularity_, groups, grads.rows.size());
-  const std::vector<double> norms =
-      dp::clip_per_example_per_layer(grads, clip_groups, c);
+  if (dp::noise_mode() == dp::NoiseMode::kStream) {
+    // Batched Algorithm 2 lines 9-14: one pass clips every example's
+    // per-layer slice in place, then noise is drawn example-major — the
+    // exact stream order of the per-example loop this replaces.
+    const std::vector<double> norms =
+        dp::clip_per_example_per_layer(grads, clip_groups, c);
+    count_clipped_groups(name(), norms, c);
+    dp::GaussianMechanism mechanism(sigma_, c);
+    mechanism.sanitize_per_example(grads, rng);
+    return;
+  }
+  // Counter mode: parallel norm pass, serial per-example key draws
+  // (matching the draws a loop of sanitize_per_example calls would
+  // make), then the parallel fused scale+noise pass.
+  const std::size_t batch = static_cast<std::size_t>(grads.batch);
+  const std::vector<double> norms = dp::batch_group_norms(grads, clip_groups);
   count_clipped_groups(name(), norms, c);
-  dp::GaussianMechanism mechanism(sigma_, c);
-  mechanism.sanitize_per_example(grads, rng);
+  std::vector<std::uint64_t> keys(batch);
+  for (auto& k : keys) k = rng.next_u64();
+  const std::vector<double> bounds(batch, c);
+  const std::vector<double> stddevs(batch, sigma_ * c);
+  dp::batch_scale_noise(grads, clip_groups, norms, bounds, stddevs, keys);
 }
 
 FedCdpAdaptivePolicy::FedCdpAdaptivePolicy(double initial_bound,
@@ -197,11 +224,20 @@ void FedCdpAdaptivePolicy::sanitize_per_example(TensorList& grad,
     std::lock_guard<std::mutex> lock(mutex_);
     if (estimator_.ready()) bound = estimator_.median();
   }
-  // Clip at the current median-of-norms bound...
-  const std::vector<double> norms = dp::clip_per_layer(grad, groups, bound);
-  count_clipped_groups(name(), norms, bound);
-  dp::GaussianMechanism mechanism(sigma_, bound);
-  mechanism.sanitize(grad, rng);
+  std::vector<double> norms;
+  if (dp::noise_mode() == dp::NoiseMode::kStream) {
+    // Clip at the current median-of-norms bound...
+    norms = dp::clip_per_layer(grad, groups, bound);
+    count_clipped_groups(name(), norms, bound);
+    dp::GaussianMechanism mechanism(sigma_, bound);
+    mechanism.sanitize(grad, rng);
+  } else {
+    const dp::ExampleView ex = dp::view_of(grad);
+    norms = dp::group_norms(ex, groups);
+    count_clipped_groups(name(), norms, bound);
+    const CounterNoise noise(rng.next_u64());
+    dp::scale_noise(ex, groups, norms, bound, sigma_ * bound, noise);
+  }
   // ...then fold this example's pre-clip norms into the estimator for
   // subsequent sanitizations.
   std::lock_guard<std::mutex> lock(mutex_);
@@ -214,12 +250,45 @@ void FedCdpAdaptivePolicy::sanitize_per_example_batch(
     tensor::list::PerExampleGrads& grads, const ParamGroups& groups,
     std::int64_t /*round*/, Rng& rng) const {
   // The estimator may move between examples (each example's pre-clip
-  // norms are folded in before the next example is clipped), so the
-  // batched form keeps the example-major loop but works on rows in
-  // place instead of materializing per-example TensorLists.
+  // norms are folded in before the next example is clipped), but the
+  // pre-clip norms themselves only depend on example j's own slice —
+  // so the norm pass can run in parallel up front, leaving only the
+  // estimator walk (and in stream mode, the noise draws) serial.
   const std::int64_t batch = grads.batch;
   std::int64_t groups_seen = 0;
   std::int64_t groups_clipped = 0;
+  if (dp::noise_mode() == dp::NoiseMode::kCounter) {
+    const std::vector<double> norms = dp::batch_group_norms(grads, groups);
+    std::vector<double> bounds(static_cast<std::size_t>(batch));
+    std::vector<double> stddevs(static_cast<std::size_t>(batch));
+    std::vector<std::uint64_t> keys(static_cast<std::size_t>(batch));
+    // Serial walk reproducing the per-example order: read the bound,
+    // draw the example's noise key, fold its norms into the estimator.
+    for (std::size_t j = 0; j < static_cast<std::size_t>(batch); ++j) {
+      double bound = initial_bound_;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (estimator_.ready()) bound = estimator_.median();
+      }
+      bounds[j] = bound;
+      stddevs[j] = sigma_ * bound;
+      keys[j] = rng.next_u64();
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        const double norm = norms[j * groups.size() + g];
+        ++groups_seen;
+        if (norm > bound) ++groups_clipped;
+        if (norm > 0.0) estimator_.observe(norm);
+      }
+    }
+    dp::batch_scale_noise(grads, groups, norms, bounds, stddevs, keys);
+    auto& registry = telemetry::global_registry();
+    const telemetry::Labels labels{{"policy", name()}};
+    registry.counter("dp.clip.groups_total", labels).add(groups_seen);
+    registry.counter("dp.clip.groups_clipped_total", labels)
+        .add(groups_clipped);
+    return;
+  }
   for (std::int64_t j = 0; j < batch; ++j) {
     double bound = initial_bound_;
     {

@@ -1,0 +1,80 @@
+// Fused per-example clip+noise for the batched Fed-CDP hot path.
+//
+// The legacy sanitizer traversed every [B, numel] per-example gradient
+// row three times — norm accumulation, clip scaling, and a separate
+// serial add-noise pass whose sequential RNG stream pinned the whole
+// thing to one thread. This module restructures it into two passes,
+// both parallel over examples:
+//
+//   1. group_norms / batch_group_norms — read-only norm pass, same
+//      per-tensor float-rounded accumulation as l2_norm_subset, so the
+//      clip decisions match the sliced path bit for bit;
+//   2. scale_noise / batch_scale_noise — ONE read-modify-write
+//      traversal that applies the clip scale AND the Philox Gaussian
+//      noise to each element in the same instruction stream, halving
+//      the memory traffic of the old scale-then-noise pair.
+//
+// Both the single-example hook and the batched hook run the SAME
+// per-example kernels over a ParamSpan view, which is what keeps
+// `sanitize_per_example_batch` bitwise identical to a loop of
+// `sanitize_per_example` calls (the invariant PerExamplePolicy tests
+// assert) without constraining the traversal order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/philox.h"
+#include "dp/clipping.h"
+#include "tensor/tensor_list.h"
+
+namespace fedcl {
+class ThreadPool;
+}
+
+namespace fedcl::dp {
+
+// Raw view of one example's gradient: pointer + element count per
+// parameter tensor, in model parameter order.
+struct ParamSpan {
+  float* data = nullptr;
+  std::int64_t numel = 0;
+};
+using ExampleView = std::vector<ParamSpan>;
+
+ExampleView view_of(TensorList& grad);
+ExampleView view_of_example(tensor::list::PerExampleGrads& grads,
+                            std::int64_t j);
+
+// Pre-clip joint L2 norm of each group (per-tensor sums rounded
+// through float exactly like Tensor::l2_norm, then the joint sqrt).
+std::vector<double> group_norms(const ExampleView& ex,
+                                const ParamGroups& groups);
+
+// Fused clip-scale + Philox-noise pass over one example. Groups whose
+// norm exceeds `bound` are scaled by bound/norm; every element then
+// receives N(0, stddev^2) noise keyed by (noise.key(), param index,
+// element index). One traversal, order-free.
+void scale_noise(const ExampleView& ex, const ParamGroups& groups,
+                 const std::vector<double>& norms, double bound, double stddev,
+                 const CounterNoise& noise);
+
+// Batched forms over the [B, numel] layout, parallelized over examples
+// on `pool` (nullptr: the process compute pool). Results are bitwise
+// independent of pool size and example visit order. norms / bounds /
+// stddevs / keys are example-major: norms[j * groups.size() + g],
+// bounds[j], stddevs[j], keys[j] (per-example entries support the
+// adaptive policy, whose bound moves between examples).
+std::vector<double> batch_group_norms(tensor::list::PerExampleGrads& grads,
+                                      const ParamGroups& groups,
+                                      ThreadPool* pool = nullptr);
+
+void batch_scale_noise(tensor::list::PerExampleGrads& grads,
+                       const ParamGroups& groups,
+                       const std::vector<double>& norms,
+                       const std::vector<double>& bounds,
+                       const std::vector<double>& stddevs,
+                       const std::vector<std::uint64_t>& keys,
+                       ThreadPool* pool = nullptr);
+
+}  // namespace fedcl::dp

@@ -136,24 +136,36 @@ Tensor forward_with_tape(Sequential& model, const Tensor& x,
         Tensor y({n, oh, ow, c});
         const float* src = h.data();
         float* dst = y.data();
-        for (std::int64_t b = 0; b < n; ++b) {
-          for (std::int64_t oy = 0; oy < oh; ++oy) {
-            for (std::int64_t ox = 0; ox < ow; ++ox) {
-              for (std::int64_t ch = 0; ch < c; ++ch) {
-                float acc = 0.0f;
-                for (std::int64_t ky = 0; ky < k; ++ky) {
-                  for (std::int64_t kx = 0; kx < k; ++kx) {
-                    acc += src[((b * ih + oy * k + ky) * iw + ox * k + kx) *
-                                   c +
-                               ch] *
-                           inv;
+        // Channel-contiguous accumulation into the zero-initialized
+        // output: per output element the (ky, kx) term order matches
+        // the scalar loop, so values are unchanged; images are
+        // independent, so the batch loop parallelizes.
+        compute_pool().parallel_for_chunks(
+            static_cast<std::size_t>(n), 1,
+            [&](std::size_t nb, std::size_t ne) {
+              for (std::size_t b = nb; b < ne; ++b) {
+                for (std::int64_t oy = 0; oy < oh; ++oy) {
+                  for (std::int64_t ox = 0; ox < ow; ++ox) {
+                    float* out_row =
+                        dst + ((static_cast<std::int64_t>(b) * oh + oy) * ow +
+                               ox) *
+                                  c;
+                    for (std::int64_t ky = 0; ky < k; ++ky) {
+                      const float* in_row =
+                          src + ((static_cast<std::int64_t>(b) * ih +
+                                  oy * k + ky) *
+                                     iw +
+                                 ox * k) *
+                                    c;
+                      for (std::int64_t kx = 0; kx < k; ++kx) {
+                        for (std::int64_t ch = 0; ch < c; ++ch)
+                          out_row[ch] += in_row[kx * c + ch] * inv;
+                      }
+                    }
                   }
                 }
-                dst[((b * oh + oy) * ow + ox) * c + ch] = acc;
               }
-            }
-          }
-        }
+            });
         h = y;
         break;
       }
@@ -166,32 +178,52 @@ Tensor forward_with_tape(Sequential& model, const Tensor& x,
         FEDCL_CHECK_EQ(iw % k, 0);
         const std::int64_t oh = ih / k, ow = iw / k;
         Tensor y({n, oh, ow, c});
-        node.argmax.reserve(static_cast<std::size_t>(n * oh * ow * c));
+        node.argmax.resize(static_cast<std::size_t>(n * oh * ow * c));
         const float* src = h.data();
         float* dst = y.data();
-        std::int64_t out_idx = 0;
-        for (std::int64_t b = 0; b < n; ++b) {
-          for (std::int64_t oy = 0; oy < oh; ++oy) {
-            for (std::int64_t ox = 0; ox < ow; ++ox) {
-              for (std::int64_t ch = 0; ch < c; ++ch) {
-                std::int64_t best = -1;
-                float best_value = 0.0f;
-                for (std::int64_t ky = 0; ky < k; ++ky) {
-                  for (std::int64_t kx = 0; kx < k; ++kx) {
-                    const std::int64_t flat =
-                        ((b * ih + oy * k + ky) * iw + ox * k + kx) * c + ch;
-                    if (best < 0 || src[flat] > best_value) {
-                      best = flat;
-                      best_value = src[flat];
+        std::int64_t* am = node.argmax.data();
+        // Running channel-contiguous max: window position (0, 0) seeds
+        // the per-channel best, later (ky, kx) replace only on strict
+        // improvement — the same first-wins tie behaviour as the
+        // scalar argmax scan, in the same visit order.
+        compute_pool().parallel_for_chunks(
+            static_cast<std::size_t>(n), 1,
+            [&](std::size_t nb, std::size_t ne) {
+              for (std::size_t b = nb; b < ne; ++b) {
+                for (std::int64_t oy = 0; oy < oh; ++oy) {
+                  for (std::int64_t ox = 0; ox < ow; ++ox) {
+                    const std::int64_t out_base =
+                        ((static_cast<std::int64_t>(b) * oh + oy) * ow + ox) *
+                        c;
+                    float* out_row = dst + out_base;
+                    std::int64_t* am_row = am + out_base;
+                    for (std::int64_t ky = 0; ky < k; ++ky) {
+                      const std::int64_t in_base =
+                          ((static_cast<std::int64_t>(b) * ih + oy * k + ky) *
+                               iw +
+                           ox * k) *
+                          c;
+                      for (std::int64_t kx = 0; kx < k; ++kx) {
+                        const float* in_row = src + in_base + kx * c;
+                        if (ky == 0 && kx == 0) {
+                          for (std::int64_t ch = 0; ch < c; ++ch) {
+                            out_row[ch] = in_row[ch];
+                            am_row[ch] = in_base + ch;
+                          }
+                          continue;
+                        }
+                        for (std::int64_t ch = 0; ch < c; ++ch) {
+                          if (in_row[ch] > out_row[ch]) {
+                            out_row[ch] = in_row[ch];
+                            am_row[ch] = in_base + kx * c + ch;
+                          }
+                        }
+                      }
                     }
                   }
                 }
-                node.argmax.push_back(best);
-                dst[out_idx++] = best_value;
               }
-            }
-          }
-        }
+            });
         h = y;
         break;
       }
@@ -352,9 +384,13 @@ PerExampleGrads compute_per_example_gradients(
               }
             });
         if (need_dx) {
+          // Fused: each image's patch-gradient tile is matmul'd into a
+          // scratch buffer and scattered straight back with col2im —
+          // the full [batch*patches, width] unfolded gradient never
+          // materializes (tensor/im2col.h).
           Tensor d2 = delta.reshape({batch * patches, oc});
-          Tensor dcols = t::matmul_nt(d2, conv.parameters()[0].value());
-          delta = t::col2im(dcols, node.spec, batch);
+          delta = t::conv_input_grad(d2, conv.parameters()[0].value(),
+                                     node.spec, batch);
         }
         break;
       }
@@ -369,22 +405,35 @@ PerExampleGrads compute_per_example_gradients(
         Tensor dx(node.in_shape);
         float* dst = dx.data();
         const float* src = delta.data();
-        for (std::int64_t b = 0; b < n; ++b) {
-          for (std::int64_t oy = 0; oy < oh; ++oy) {
-            for (std::int64_t ox = 0; ox < ow; ++ox) {
-              for (std::int64_t ch = 0; ch < c; ++ch) {
-                const float g =
-                    src[((b * oh + oy) * ow + ox) * c + ch] * inv;
-                for (std::int64_t ky = 0; ky < k; ++ky) {
-                  for (std::int64_t kx = 0; kx < k; ++kx) {
-                    dst[((b * ih + oy * k + ky) * iw + ox * k + kx) * c +
-                        ch] += g;
+        // Pool windows tile the input, so each input element receives
+        // exactly one src*inv contribution; images are independent and
+        // the channel-contiguous spread vectorizes.
+        pool.parallel_for_chunks(
+            static_cast<std::size_t>(n), 1,
+            [&](std::size_t nb, std::size_t ne) {
+              for (std::size_t b = nb; b < ne; ++b) {
+                for (std::int64_t oy = 0; oy < oh; ++oy) {
+                  for (std::int64_t ox = 0; ox < ow; ++ox) {
+                    const float* g_row =
+                        src + ((static_cast<std::int64_t>(b) * oh + oy) * ow +
+                               ox) *
+                                  c;
+                    for (std::int64_t ky = 0; ky < k; ++ky) {
+                      float* d_row =
+                          dst + ((static_cast<std::int64_t>(b) * ih +
+                                  oy * k + ky) *
+                                     iw +
+                                 ox * k) *
+                                    c;
+                      for (std::int64_t kx = 0; kx < k; ++kx) {
+                        for (std::int64_t ch = 0; ch < c; ++ch)
+                          d_row[kx * c + ch] += g_row[ch] * inv;
+                      }
+                    }
                   }
                 }
               }
-            }
-          }
-        }
+            });
         delta = dx;
         break;
       }
@@ -393,9 +442,18 @@ PerExampleGrads compute_per_example_gradients(
         Tensor dx(node.in_shape);
         float* dst = dx.data();
         const float* src = delta.data();
-        for (std::size_t idx = 0; idx < node.argmax.size(); ++idx) {
-          dst[node.argmax[idx]] += src[idx];
-        }
+        // argmax targets of image b stay inside image b, so the
+        // scatter parallelizes over the batch.
+        const std::int64_t per_image =
+            static_cast<std::int64_t>(node.argmax.size()) / node.in_shape[0];
+        pool.parallel_for_chunks(
+            static_cast<std::size_t>(node.in_shape[0]), 1,
+            [&](std::size_t nb, std::size_t ne) {
+              for (std::size_t idx = nb * per_image; idx < ne * per_image;
+                   ++idx) {
+                dst[node.argmax[idx]] += src[idx];
+              }
+            });
         delta = dx;
         break;
       }

@@ -13,6 +13,39 @@ thread_local bool g_grad_mode = true;
 
 bool grad_mode_enabled() { return g_grad_mode; }
 
+namespace detail {
+
+Node::~Node() {
+  // Clearing the VJP closure first is safe and shallow: its captured
+  // Vars duplicate references the parents vector still holds, so no
+  // node is released yet.
+  vjp = nullptr;
+  // Steal sole-owned parent nodes into an explicit worklist and retire
+  // them one at a time. Each popped node has its own links severed the
+  // same way before it is released, so the implicit recursive unwind
+  // (this node -> parents -> their parents -> ...) never happens and
+  // stack use stays constant regardless of graph depth.
+  std::vector<std::shared_ptr<Node>> pending;
+  auto steal_parents = [&pending](std::vector<Var>& parents) {
+    for (Var& p : parents) {
+      if (p.node_ != nullptr && p.node_.use_count() == 1) {
+        pending.push_back(std::move(p.node_));
+      }
+    }
+    parents.clear();
+  };
+  steal_parents(parents);
+  while (!pending.empty()) {
+    std::shared_ptr<Node> n = std::move(pending.back());
+    pending.pop_back();
+    n->vjp = nullptr;
+    steal_parents(n->parents);
+    // n releases here with no remaining links: trivial destructor body.
+  }
+}
+
+}  // namespace detail
+
 GradModeGuard::GradModeGuard(bool enabled) : previous_(g_grad_mode) {
   g_grad_mode = enabled;
 }

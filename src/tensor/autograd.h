@@ -29,6 +29,11 @@ class Var;
 namespace detail {
 
 struct Node {
+  // Iterative teardown: releasing a deep op chain through the implicit
+  // destructor would recurse once per node (Var -> shared_ptr<Node> ->
+  // parents -> Var ...) and overflow the stack around 20k ops.
+  ~Node();
+
   Tensor value;
   bool requires_grad = false;
   std::vector<Var> parents;
@@ -87,6 +92,7 @@ class Var {
   const detail::Node* node() const { return node_.get(); }
 
  private:
+  friend struct detail::Node;  // iterative graph teardown steals node_
   std::shared_ptr<detail::Node> node_;
 };
 

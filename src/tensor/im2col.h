@@ -3,6 +3,15 @@
 // im2col and col2im are mutually adjoint linear maps, so conv2d built
 // as im2col + matmul is automatically twice differentiable — which the
 // gradient-leakage reconstruction attack relies on.
+//
+// Both directions run a blocked fast path: in NHWC the kw range of one
+// (output row, kh) pair is a single contiguous span of kernel_w * in_c
+// floats in the source image, so the per-element bounds checks of the
+// naive triple loop collapse into one clamped memcpy/memset (im2col)
+// or one vectorized span add (col2im) per (row, kh). Images are
+// independent, so both directions parallelize over the batch with
+// bitwise-stable results (per-image work is serial and identical to
+// the single-threaded order).
 #pragma once
 
 #include <cstdint>
@@ -40,5 +49,16 @@ Tensor im2col(const Tensor& x, const ConvSpec& spec);
 // Adjoint of im2col: cols [N*OH*OW, KH*KW*C] -> [N, H, W, C], with
 // overlapping patches accumulated.
 Tensor col2im(const Tensor& cols, const ConvSpec& spec, std::int64_t n);
+
+// Fused conv input gradient: col2im(delta @ w^T) without materializing
+// the [N*OH*OW, KH*KW*C] unfolded gradient. delta is the output
+// gradient flattened to [N*OH*OW, OC]; w is the conv weight reshaped
+// to [KH*KW*C, OC]. Each image's patch-gradient tile is computed into
+// a scratch buffer and scattered immediately, so the working set is
+// one image instead of the whole batch. Parallel over images with a
+// fixed per-image accumulation order, so results are independent of
+// thread count.
+Tensor conv_input_grad(const Tensor& delta, const Tensor& w,
+                       const ConvSpec& spec, std::int64_t n);
 
 }  // namespace fedcl::tensor

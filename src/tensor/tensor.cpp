@@ -9,6 +9,7 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "tensor/simd.h"
 
 namespace fedcl::tensor {
 
@@ -333,10 +334,6 @@ Tensor sign(const Tensor& a) {
 
 namespace {
 
-// Cache-block edge for the reduction dimension: a block of B rows
-// (kKBlock * n floats) stays resident while it is reused across the
-// rows of an output tile.
-constexpr std::int64_t kKBlock = 128;
 // Flop threshold (m*k*n) below which threading overhead dominates and
 // the kernels stay serial.
 constexpr std::int64_t kParallelFlops = 1 << 18;
@@ -345,61 +342,324 @@ constexpr std::int64_t kParallelFlops = 1 << 18;
 // cost is not amortized and the dot-product form wins.
 constexpr std::int64_t kNtPackRows = 16;
 
-// The hot kernels are compiled once per ISA level and dispatched at
-// load time (GNU ifunc), so a generic build still uses AVX2/FMA or
-// AVX-512 where the CPU has them. The baseline clone keeps the binary
-// portable. Accumulation order per output element is fixed
-// (ascending k), so results do not depend on row partitioning; FMA
-// contraction may round intermediate products differently across
-// clones, which stays within the library-wide float tolerance.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
-#define FEDCL_KERNEL_CLONES \
-  __attribute__((target_clones("default", "arch=haswell", "arch=x86-64-v4")))
-#else
-#define FEDCL_KERNEL_CLONES
-#endif
+// The NN/TN workers are register-tiled: 4 output rows x 8 columns of
+// accumulators live in named vector variables for the whole k sweep,
+// so each element has its own FMA chain and the 4x8 tile gives the
+// core 32 independent chains to hide FMA latency behind (the previous
+// one-chain-per-element saxpy form was latency-bound at roughly a
+// fifth of this throughput on the narrow-N conv shapes).
+//
+// Accumulation order per output element is fixed (ascending k) in
+// every path — vector body, scalar column tail, and single-row
+// remainder all issue the same per-element multiply-add sequence — so
+// results do not depend on how rows are partitioned across threads.
+// FMA contraction may round intermediate products differently across
+// the FEDCL_KERNEL_CLONES ISA levels (tensor/simd.h), which stays
+// within the library-wide float tolerance.
+typedef float vf8
+    __attribute__((vector_size(32), aligned(4), may_alias));
 
-// Row-range worker for C[i0:i1) of C = A B. Ascending-k accumulation
-// per output element regardless of blocking, so the result is
-// independent of how rows are partitioned across threads. The
-// zero-skip on A pays off in forward passes where A holds post-ReLU
-// activations; the branch-free inner loop over j vectorizes.
+// One output row of C = A B over columns [0, n): vf8 tiles then a
+// scalar tail, ascending k. Also the row-remainder kernel, so every
+// row runs identical arithmetic whether or not it sits in a 4-row
+// block.
+FEDCL_KERNEL_CLONES
+void nn_one_row(const float* __restrict arow, const float* __restrict b,
+                float* __restrict orow, std::int64_t k, std::int64_t n) {
+  std::int64_t j0 = 0;
+  for (; j0 + 8 <= n; j0 += 8) {
+    vf8 c0 = {};
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      c0 += arow[kk] * *(const vf8*)(b + kk * n + j0);
+    }
+    *(vf8*)(orow + j0) += c0;
+  }
+  for (; j0 < n; ++j0) {
+    float s = 0.0f;
+    for (std::int64_t kk = 0; kk < k; ++kk) s += arow[kk] * b[kk * n + j0];
+    orow[j0] += s;
+  }
+}
+
+// Row-range worker for C[i0:i1) of C = A B.
 FEDCL_KERNEL_CLONES
 void matmul_nn_rows(const float* __restrict a, const float* __restrict b,
                     float* __restrict out, std::int64_t i0, std::int64_t i1,
                     std::int64_t k, std::int64_t n) {
-  for (std::int64_t k0 = 0; k0 < k; k0 += kKBlock) {
-    const std::int64_t k1 = std::min(k, k0 + kKBlock);
-    for (std::int64_t i = i0; i < i1; ++i) {
-      float* orow = out + i * n;
-      for (std::int64_t kk = k0; kk < k1; ++kk) {
-        const float av = a[i * k + kk];
-        if (av == 0.0f) continue;
-        const float* brow = b + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  std::int64_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    std::int64_t j0 = 0;
+    for (; j0 + 8 <= n; j0 += 8) {
+      vf8 c0 = {}, c1 = {}, c2 = {}, c3 = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const vf8 bv = *(const vf8*)(b + kk * n + j0);
+        c0 += a0[kk] * bv;
+        c1 += a1[kk] * bv;
+        c2 += a2[kk] * bv;
+        c3 += a3[kk] * bv;
       }
+      *(vf8*)(out + (i + 0) * n + j0) += c0;
+      *(vf8*)(out + (i + 1) * n + j0) += c1;
+      *(vf8*)(out + (i + 2) * n + j0) += c2;
+      *(vf8*)(out + (i + 3) * n + j0) += c3;
     }
+    for (; j0 < n; ++j0) {
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float bv = b[kk * n + j0];
+        s0 += a0[kk] * bv;
+        s1 += a1[kk] * bv;
+        s2 += a2[kk] * bv;
+        s3 += a3[kk] * bv;
+      }
+      out[(i + 0) * n + j0] += s0;
+      out[(i + 1) * n + j0] += s1;
+      out[(i + 2) * n + j0] += s2;
+      out[(i + 3) * n + j0] += s3;
+    }
+  }
+  for (; i < i1; ++i) nn_one_row(a + i * k, b, out + i * n, k, n);
+}
+
+// One output row of C = A^T B (row i of C; A column i read with
+// stride m), same tile/tail structure as nn_one_row.
+FEDCL_KERNEL_CLONES
+void tn_one_row(const float* __restrict a, const float* __restrict b,
+                float* __restrict orow, std::int64_t i, std::int64_t k,
+                std::int64_t m, std::int64_t n) {
+  std::int64_t j0 = 0;
+  for (; j0 + 8 <= n; j0 += 8) {
+    vf8 c0 = {};
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      c0 += a[kk * m + i] * *(const vf8*)(b + kk * n + j0);
+    }
+    *(vf8*)(orow + j0) += c0;
+  }
+  for (; j0 < n; ++j0) {
+    float s = 0.0f;
+    for (std::int64_t kk = 0; kk < k; ++kk)
+      s += a[kk * m + i] * b[kk * n + j0];
+    orow[j0] += s;
   }
 }
 
-// Row-range worker for C[i0:i1) of C = A^T B with A: [k,m]. k-outer
-// order: each A row is read contiguously exactly once and the
-// [i0:i1) x n output tile stays cache-resident across the k sweep —
-// the per-example conv dW shapes (small m*n, deep k) live here.
-// Per-element accumulation is still ascending k.
+// Row-range worker for C[i0:i1) of C = A^T B with A: [k,m] — the
+// per-example conv dW shapes (small m*n, deep k) live here.
 FEDCL_KERNEL_CLONES
 void matmul_tn_rows(const float* __restrict a, const float* __restrict b,
                     float* __restrict out, std::int64_t i0, std::int64_t i1,
                     std::int64_t k, std::int64_t m, std::int64_t n) {
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a + kk * m;
-    const float* brow = b + kk * n;
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float av = arow[i];
-      float* orow = out + i * n;
-      for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  std::int64_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    std::int64_t j0 = 0;
+    for (; j0 + 8 <= n; j0 += 8) {
+      vf8 c0 = {}, c1 = {}, c2 = {}, c3 = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* arow = a + kk * m + i;
+        const vf8 bv = *(const vf8*)(b + kk * n + j0);
+        c0 += arow[0] * bv;
+        c1 += arow[1] * bv;
+        c2 += arow[2] * bv;
+        c3 += arow[3] * bv;
+      }
+      *(vf8*)(out + (i + 0) * n + j0) += c0;
+      *(vf8*)(out + (i + 1) * n + j0) += c1;
+      *(vf8*)(out + (i + 2) * n + j0) += c2;
+      *(vf8*)(out + (i + 3) * n + j0) += c3;
+    }
+    for (; j0 < n; ++j0) {
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* arow = a + kk * m + i;
+        const float bv = b[kk * n + j0];
+        s0 += arow[0] * bv;
+        s1 += arow[1] * bv;
+        s2 += arow[2] * bv;
+        s3 += arow[3] * bv;
+      }
+      out[(i + 0) * n + j0] += s0;
+      out[(i + 1) * n + j0] += s1;
+      out[(i + 2) * n + j0] += s2;
+      out[(i + 3) * n + j0] += s3;
     }
   }
+  for (; i < i1; ++i) tn_one_row(a, b, out + i * n, i, k, m, n);
+}
+
+#if FEDCL_HAVE_V4_KERNELS
+typedef float vf16
+    __attribute__((vector_size(64), aligned(4), may_alias));
+
+// AVX-512 widening of the same tile scheme: 8 rows x 16 columns of
+// ZMM accumulators (the 4x8 tile leaves most of the wider register
+// file idle). Per-element arithmetic is unchanged — ascending-k FMA —
+// so this path is bitwise identical to the portable kernels and the
+// fedcl_cpu_has_v4() branch only changes speed. Column tails drop to
+// 8-wide then scalar; row tails delegate to the portable kernel.
+FEDCL_KERNEL_V4
+void matmul_nn_rows_v4(const float* __restrict a, const float* __restrict b,
+                       float* __restrict out, std::int64_t i0,
+                       std::int64_t i1, std::int64_t k, std::int64_t n) {
+  std::int64_t i = i0;
+  for (; i + 8 <= i1; i += 8) {
+    const float* ar[8];
+    for (int r = 0; r < 8; ++r) ar[r] = a + (i + r) * k;
+    std::int64_t j0 = 0;
+    for (; j0 + 16 <= n; j0 += 16) {
+      vf16 c0 = {}, c1 = {}, c2 = {}, c3 = {};
+      vf16 c4 = {}, c5 = {}, c6 = {}, c7 = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const vf16 bv = *(const vf16*)(b + kk * n + j0);
+        c0 += ar[0][kk] * bv;
+        c1 += ar[1][kk] * bv;
+        c2 += ar[2][kk] * bv;
+        c3 += ar[3][kk] * bv;
+        c4 += ar[4][kk] * bv;
+        c5 += ar[5][kk] * bv;
+        c6 += ar[6][kk] * bv;
+        c7 += ar[7][kk] * bv;
+      }
+      *(vf16*)(out + (i + 0) * n + j0) += c0;
+      *(vf16*)(out + (i + 1) * n + j0) += c1;
+      *(vf16*)(out + (i + 2) * n + j0) += c2;
+      *(vf16*)(out + (i + 3) * n + j0) += c3;
+      *(vf16*)(out + (i + 4) * n + j0) += c4;
+      *(vf16*)(out + (i + 5) * n + j0) += c5;
+      *(vf16*)(out + (i + 6) * n + j0) += c6;
+      *(vf16*)(out + (i + 7) * n + j0) += c7;
+    }
+    for (; j0 + 8 <= n; j0 += 8) {
+      vf8 c0 = {}, c1 = {}, c2 = {}, c3 = {};
+      vf8 c4 = {}, c5 = {}, c6 = {}, c7 = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const vf8 bv = *(const vf8*)(b + kk * n + j0);
+        c0 += ar[0][kk] * bv;
+        c1 += ar[1][kk] * bv;
+        c2 += ar[2][kk] * bv;
+        c3 += ar[3][kk] * bv;
+        c4 += ar[4][kk] * bv;
+        c5 += ar[5][kk] * bv;
+        c6 += ar[6][kk] * bv;
+        c7 += ar[7][kk] * bv;
+      }
+      *(vf8*)(out + (i + 0) * n + j0) += c0;
+      *(vf8*)(out + (i + 1) * n + j0) += c1;
+      *(vf8*)(out + (i + 2) * n + j0) += c2;
+      *(vf8*)(out + (i + 3) * n + j0) += c3;
+      *(vf8*)(out + (i + 4) * n + j0) += c4;
+      *(vf8*)(out + (i + 5) * n + j0) += c5;
+      *(vf8*)(out + (i + 6) * n + j0) += c6;
+      *(vf8*)(out + (i + 7) * n + j0) += c7;
+    }
+    for (; j0 < n; ++j0) {
+      float s[8] = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float bv = b[kk * n + j0];
+        for (int r = 0; r < 8; ++r) s[r] += ar[r][kk] * bv;
+      }
+      for (int r = 0; r < 8; ++r) out[(i + r) * n + j0] += s[r];
+    }
+  }
+  if (i < i1) matmul_nn_rows(a, b, out, i, i1, k, n);
+}
+
+FEDCL_KERNEL_V4
+void matmul_tn_rows_v4(const float* __restrict a, const float* __restrict b,
+                       float* __restrict out, std::int64_t i0,
+                       std::int64_t i1, std::int64_t k, std::int64_t m,
+                       std::int64_t n) {
+  std::int64_t i = i0;
+  for (; i + 8 <= i1; i += 8) {
+    std::int64_t j0 = 0;
+    for (; j0 + 16 <= n; j0 += 16) {
+      vf16 c0 = {}, c1 = {}, c2 = {}, c3 = {};
+      vf16 c4 = {}, c5 = {}, c6 = {}, c7 = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* arow = a + kk * m + i;
+        const vf16 bv = *(const vf16*)(b + kk * n + j0);
+        c0 += arow[0] * bv;
+        c1 += arow[1] * bv;
+        c2 += arow[2] * bv;
+        c3 += arow[3] * bv;
+        c4 += arow[4] * bv;
+        c5 += arow[5] * bv;
+        c6 += arow[6] * bv;
+        c7 += arow[7] * bv;
+      }
+      *(vf16*)(out + (i + 0) * n + j0) += c0;
+      *(vf16*)(out + (i + 1) * n + j0) += c1;
+      *(vf16*)(out + (i + 2) * n + j0) += c2;
+      *(vf16*)(out + (i + 3) * n + j0) += c3;
+      *(vf16*)(out + (i + 4) * n + j0) += c4;
+      *(vf16*)(out + (i + 5) * n + j0) += c5;
+      *(vf16*)(out + (i + 6) * n + j0) += c6;
+      *(vf16*)(out + (i + 7) * n + j0) += c7;
+    }
+    for (; j0 + 8 <= n; j0 += 8) {
+      vf8 c0 = {}, c1 = {}, c2 = {}, c3 = {};
+      vf8 c4 = {}, c5 = {}, c6 = {}, c7 = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* arow = a + kk * m + i;
+        const vf8 bv = *(const vf8*)(b + kk * n + j0);
+        c0 += arow[0] * bv;
+        c1 += arow[1] * bv;
+        c2 += arow[2] * bv;
+        c3 += arow[3] * bv;
+        c4 += arow[4] * bv;
+        c5 += arow[5] * bv;
+        c6 += arow[6] * bv;
+        c7 += arow[7] * bv;
+      }
+      *(vf8*)(out + (i + 0) * n + j0) += c0;
+      *(vf8*)(out + (i + 1) * n + j0) += c1;
+      *(vf8*)(out + (i + 2) * n + j0) += c2;
+      *(vf8*)(out + (i + 3) * n + j0) += c3;
+      *(vf8*)(out + (i + 4) * n + j0) += c4;
+      *(vf8*)(out + (i + 5) * n + j0) += c5;
+      *(vf8*)(out + (i + 6) * n + j0) += c6;
+      *(vf8*)(out + (i + 7) * n + j0) += c7;
+    }
+    for (; j0 < n; ++j0) {
+      float s[8] = {};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float* arow = a + kk * m + i;
+        const float bv = b[kk * n + j0];
+        for (int r = 0; r < 8; ++r) s[r] += arow[r] * bv;
+      }
+      for (int r = 0; r < 8; ++r) out[(i + r) * n + j0] += s[r];
+    }
+  }
+  if (i < i1) matmul_tn_rows(a, b, out, i, i1, k, m, n);
+}
+#endif  // FEDCL_HAVE_V4_KERNELS
+
+// ISA-dispatched row workers: same values on every path, wider tiles
+// where the CPU has the registers for them.
+void nn_rows(const float* a, const float* b, float* out, std::int64_t i0,
+             std::int64_t i1, std::int64_t k, std::int64_t n) {
+#if FEDCL_HAVE_V4_KERNELS
+  if (fedcl_cpu_has_v4()) {
+    matmul_nn_rows_v4(a, b, out, i0, i1, k, n);
+    return;
+  }
+#endif
+  matmul_nn_rows(a, b, out, i0, i1, k, n);
+}
+
+void tn_rows(const float* a, const float* b, float* out, std::int64_t i0,
+             std::int64_t i1, std::int64_t k, std::int64_t m,
+             std::int64_t n) {
+#if FEDCL_HAVE_V4_KERNELS
+  if (fedcl_cpu_has_v4()) {
+    matmul_tn_rows_v4(a, b, out, i0, i1, k, m, n);
+    return;
+  }
+#endif
+  matmul_tn_rows(a, b, out, i0, i1, k, m, n);
 }
 
 // Row-range worker for C[i0:i1) of C = A B^T with B: [n,k]; both
@@ -453,19 +713,19 @@ void dispatch_rows(std::int64_t m, std::int64_t k, std::int64_t n,
 
 void matmul_nn_into(const float* a, const float* b, float* out,
                     std::int64_t m, std::int64_t k, std::int64_t n) {
-  matmul_nn_rows(a, b, out, 0, m, k, n);
+  nn_rows(a, b, out, 0, m, k, n);
 }
 
 void matmul_tn_into(const float* a, const float* b, float* out,
                     std::int64_t k, std::int64_t m, std::int64_t n) {
-  matmul_tn_rows(a, b, out, 0, m, k, m, n);
+  tn_rows(a, b, out, 0, m, k, m, n);
 }
 
 void matmul_nt_into(const float* a, const float* b, float* out,
                     std::int64_t m, std::int64_t k, std::int64_t n) {
   if (m >= kNtPackRows) {
     const std::vector<float> bt = pack_transpose(b, n, k);
-    matmul_nn_rows(a, bt.data(), out, 0, m, k, n);
+    nn_rows(a, bt.data(), out, 0, m, k, n);
     return;
   }
   matmul_nt_rows(a, b, out, 0, m, k, n);
@@ -481,7 +741,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   dispatch_rows(m, k, n, [&](std::int64_t i0, std::int64_t i1) {
-    matmul_nn_rows(pa, pb, po, i0, i1, k, n);
+    nn_rows(pa, pb, po, i0, i1, k, n);
   });
   return out;
 }
@@ -496,7 +756,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   dispatch_rows(m, k, n, [&](std::int64_t i0, std::int64_t i1) {
-    matmul_tn_rows(pa, pb, po, i0, i1, k, m, n);
+    tn_rows(pa, pb, po, i0, i1, k, m, n);
   });
   return out;
 }
@@ -514,7 +774,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
     const std::vector<float> bt = pack_transpose(pb, n, k);
     const float* pbt = bt.data();
     dispatch_rows(m, k, n, [&](std::int64_t i0, std::int64_t i1) {
-      matmul_nn_rows(pa, pbt, po, i0, i1, k, n);
+      nn_rows(pa, pbt, po, i0, i1, k, n);
     });
     return out;
   }

@@ -1,0 +1,195 @@
+// Finite-difference gradient checks over every model_zoo architecture
+// and layer type, run against BOTH gradient paths: the autograd batch
+// gradient (compute_gradients) and the batched per-example engine's
+// mean gradient. This is the safety harness that gates kernel
+// optimizations — a wrong matmul/im2col/pool kernel shows up here as a
+// mismatch against central differences of the loss itself.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/grad_utils.h"
+#include "nn/layers.h"
+#include "nn/model_zoo.h"
+#include "nn/per_example.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_list.h"
+
+namespace fedcl {
+namespace {
+
+using nn::Sequential;
+using tensor::Tensor;
+using tensor::list::TensorList;
+
+std::vector<std::int64_t> labels_for(std::int64_t batch,
+                                     std::int64_t classes) {
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(batch));
+  for (std::int64_t j = 0; j < batch; ++j)
+    labels[static_cast<std::size_t>(j)] = j % classes;
+  return labels;
+}
+
+// Central finite differences of the mean cross-entropy loss w.r.t.
+// every parameter element, compared against both analytic paths.
+void expect_model_gradcheck(Sequential& model, const Tensor& x,
+                            const std::vector<std::int64_t>& labels,
+                            float eps = 1e-2f, float atol = 6e-3f,
+                            float rtol = 6e-2f, int max_skip_percent = 5) {
+  const TensorList analytic = nn::compute_gradients(model, x, labels);
+  double engine_loss = 0.0;
+  const TensorList engine_mean =
+      nn::compute_per_example_gradients(model, x, labels, &engine_loss)
+          .mean();
+  ASSERT_EQ(analytic.size(), engine_mean.size());
+  ASSERT_EQ(analytic.size(), model.parameter_count());
+
+  const TensorList saved = model.weights();
+  auto loss_at = [&](const TensorList& w) {
+    model.set_weights(w);
+    double loss = 0.0;
+    nn::compute_gradients(model, x, labels, &loss);
+    return loss;
+  };
+  std::int64_t total = 0, skipped = 0;
+  for (std::size_t p = 0; p < saved.size(); ++p) {
+    for (std::int64_t i = 0; i < saved[p].numel(); ++i) {
+      ++total;
+      TensorList w = tensor::list::clone(saved);
+      const float orig = w[p].at(i);
+      auto central_diff = [&](float h) {
+        w[p].at(i) = orig + h;
+        const double up = loss_at(w);
+        w[p].at(i) = orig - h;
+        const double down = loss_at(w);
+        w[p].at(i) = orig;
+        return static_cast<float>((up - down) / (2.0 * static_cast<double>(h)));
+      };
+      // Two step sizes: for a smooth loss the estimates agree (central
+      // differences converge at O(h^2)); where they disagree the
+      // element sits on a kink (relu boundary, maxpool argmax flip)
+      // and finite differences say nothing — skip it, but bound how
+      // many elements may take that exit.
+      const float coarse = central_diff(eps);
+      const float numeric = central_diff(eps / 4.0f);
+      const float tol = atol + rtol * std::abs(numeric);
+      if (std::abs(coarse - numeric) > tol / 2.0f) {
+        ++skipped;
+        continue;
+      }
+      EXPECT_NEAR(analytic[p].at(i), numeric, tol)
+          << "autograd: param " << p << " element " << i;
+      EXPECT_NEAR(engine_mean[p].at(i), numeric, tol)
+          << "per-example engine: param " << p << " element " << i;
+    }
+  }
+  // The kink exit cannot mask a wrong kernel (skips depend only on the
+  // FD estimates, never on the analytic values), but bound it anyway so
+  // the check cannot silently degenerate to covering nothing.
+  EXPECT_LE(skipped * 100, total * max_skip_percent)
+      << "too many non-smooth elements skipped (" << skipped << "/" << total
+      << ")";
+  model.set_weights(saved);
+}
+
+nn::ModelSpec mlp_spec(nn::Activation act) {
+  nn::ModelSpec spec;
+  spec.kind = nn::ModelSpec::Kind::kMlp;
+  spec.in_features = 6;
+  spec.classes = 3;
+  spec.hidden1 = 5;
+  spec.hidden2 = 4;
+  spec.activation = act;
+  return spec;
+}
+
+nn::ModelSpec cnn_spec(nn::Activation act) {
+  nn::ModelSpec spec;
+  spec.kind = nn::ModelSpec::Kind::kImageCnn;
+  spec.height = 8;
+  spec.width = 8;
+  spec.channels = 1;
+  spec.classes = 3;
+  spec.conv1_channels = 2;
+  spec.conv2_channels = 3;
+  spec.activation = act;
+  return spec;
+}
+
+TEST(ModelGradCheck, MlpAllActivations) {
+  for (nn::Activation act :
+       {nn::Activation::kRelu, nn::Activation::kTanh,
+        nn::Activation::kSigmoid}) {
+    Rng rng(11 + static_cast<std::uint64_t>(act));
+    auto model = nn::build_model(mlp_spec(act), rng);
+    const std::int64_t batch = 3;
+    const Tensor x = Tensor::randn({batch, 6}, rng);
+    expect_model_gradcheck(*model, x, labels_for(batch, 3));
+  }
+}
+
+TEST(ModelGradCheck, ImageCnnReluAndTanh) {
+  // Conv2d + AvgPool2d + Flatten + Linear, the paper's image model.
+  for (nn::Activation act : {nn::Activation::kRelu, nn::Activation::kTanh}) {
+    Rng rng(23 + static_cast<std::uint64_t>(act));
+    auto model = nn::build_model(cnn_spec(act), rng);
+    const std::int64_t batch = 2;
+    const Tensor x = Tensor::randn({batch, 8, 8, 1}, rng);
+    // Every conv1 weight feeds 64 positions x 2 images worth of relu
+    // pre-activations, so perturbations frequently cross a kink; allow
+    // a larger (but still bounded) non-smooth fraction for relu.
+    const int max_skip_percent = act == nn::Activation::kRelu ? 25 : 5;
+    expect_model_gradcheck(*model, x, labels_for(batch, 3), 1e-2f, 6e-3f,
+                           6e-2f, max_skip_percent);
+  }
+}
+
+TEST(ModelGradCheck, MaxPoolDropoutInputScaleStack) {
+  // The layer types the zoo models do not cover: InputScale, MaxPool2d
+  // and (eval-mode) Dropout, stacked with a conv and a linear head.
+  Rng rng(31);
+  Sequential model;
+  model.emplace<nn::InputScale>(/*shift=*/-0.5f, /*scale=*/2.0f);
+  model.emplace<nn::Conv2d>(/*in_channels=*/2, /*out_channels=*/3,
+                            /*kernel=*/3, /*stride=*/1, /*pad=*/1, rng);
+  model.emplace<nn::ActivationLayer>(nn::Activation::kTanh);
+  model.emplace<nn::MaxPool2d>(/*kernel=*/2);
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Dropout>(/*p=*/0.3, /*seed=*/5);
+  model.emplace<nn::Linear>(3 * 2 * 2, 3, rng);
+  // Eval mode: dropout is the identity, so the loss is deterministic
+  // and finite differences are meaningful.
+  model.set_training(false);
+  ASSERT_TRUE(nn::per_example_supported(model));
+  const std::int64_t batch = 2;
+  const Tensor x = Tensor::randn({batch, 4, 4, 2}, rng);
+  expect_model_gradcheck(model, x, labels_for(batch, 3));
+}
+
+TEST(ModelGradCheck, SlicedEngineAgreesToo) {
+  // The sliced fallback engine goes through the same check on one
+  // architecture, pinning all three gradient paths to the same truth.
+  Rng rng(47);
+  auto model = nn::build_model(mlp_spec(nn::Activation::kTanh), rng);
+  const std::int64_t batch = 2;
+  const Tensor x = Tensor::randn({batch, 6}, rng);
+  const std::vector<std::int64_t> labels = labels_for(batch, 3);
+  const TensorList analytic = nn::compute_gradients(*model, x, labels);
+  const TensorList sliced_mean =
+      nn::compute_per_example_gradients_sliced(*model, x, labels, nullptr)
+          .mean();
+  ASSERT_EQ(analytic.size(), sliced_mean.size());
+  for (std::size_t p = 0; p < analytic.size(); ++p) {
+    for (std::int64_t i = 0; i < analytic[p].numel(); ++i) {
+      EXPECT_NEAR(analytic[p].at(i), sliced_mean[p].at(i), 1e-5)
+          << "param " << p << " element " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedcl

@@ -1,0 +1,159 @@
+// Fast-vs-naive kernel checking helpers shared by tests.
+//
+// Each optimized kernel (blocked matmul, span-based im2col/col2im, the
+// fused DP sanitizer) is checked against a deliberately naive
+// reference: straight loops, double accumulation where the reference
+// is numerical, and the exact float order where the comparison must be
+// bitwise. Inputs come from seeded per-op RNG fills so every shape in
+// a sweep exercises different data.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/im2col.h"
+#include "tensor/tensor.h"
+
+namespace fedcl::testing {
+
+using tensor::ConvSpec;
+using tensor::Shape;
+using tensor::Tensor;
+
+// Seeded standard-normal fill; one fresh Rng per op keeps checks
+// independent of evaluation order in a sweep.
+inline Tensor rng_fill(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn(shape, rng);
+}
+
+// C = A B in double precision, naive triple loop.
+inline std::vector<double> naive_matmul_nn(const float* a, const float* b,
+                                           std::int64_t m, std::int64_t k,
+                                           std::int64_t n) {
+  std::vector<double> c(static_cast<std::size_t>(m) * n, 0.0);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t kk = 0; kk < k; ++kk)
+      for (std::int64_t j = 0; j < n; ++j)
+        c[i * n + j] += static_cast<double>(a[i * k + kk]) *
+                        static_cast<double>(b[kk * n + j]);
+  return c;
+}
+
+// C = A^T B, A: [k, m].
+inline std::vector<double> naive_matmul_tn(const float* a, const float* b,
+                                           std::int64_t k, std::int64_t m,
+                                           std::int64_t n) {
+  std::vector<double> c(static_cast<std::size_t>(m) * n, 0.0);
+  for (std::int64_t kk = 0; kk < k; ++kk)
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j)
+        c[i * n + j] += static_cast<double>(a[kk * m + i]) *
+                        static_cast<double>(b[kk * n + j]);
+  return c;
+}
+
+// C = A B^T, B: [n, k].
+inline std::vector<double> naive_matmul_nt(const float* a, const float* b,
+                                           std::int64_t m, std::int64_t k,
+                                           std::int64_t n) {
+  std::vector<double> c(static_cast<std::size_t>(m) * n, 0.0);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        c[i * n + j] += static_cast<double>(a[i * k + kk]) *
+                        static_cast<double>(b[j * k + kk]);
+  return c;
+}
+
+// Float kernels accumulate k terms in single precision; bound the
+// comparison by a k-scaled tolerance around the double reference.
+inline void expect_matmul_close(const Tensor& got,
+                                const std::vector<double>& ref,
+                                std::int64_t k, const char* what) {
+  ASSERT_EQ(static_cast<std::size_t>(got.numel()), ref.size()) << what;
+  const double tol = 1e-5 * std::sqrt(static_cast<double>(k)) + 1e-6;
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    const double scale = std::max(1.0, std::abs(ref[static_cast<std::size_t>(i)]));
+    EXPECT_NEAR(got.at(i), ref[static_cast<std::size_t>(i)], tol * scale)
+        << what << " element " << i;
+  }
+}
+
+// The original per-element im2col, kept verbatim as the reference for
+// the span-based fast path (which must match it bitwise — it moves the
+// same floats, just in larger pieces).
+inline Tensor naive_im2col(const Tensor& x, const ConvSpec& spec) {
+  const std::int64_t n = x.dim(0);
+  const std::int64_t oh = spec.out_h(), ow = spec.out_w();
+  const std::int64_t patch = spec.patch_size();
+  Tensor cols({n * oh * ow, patch});
+  const float* px = x.data();
+  float* pc = cols.data();
+  const std::int64_t hw_stride = spec.in_w * spec.in_c;
+  for (std::int64_t b = 0; b < n; ++b) {
+    const float* img = px + b * spec.in_h * hw_stride;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t xo = 0; xo < ow; ++xo) {
+        float* row = pc + ((b * oh + y) * ow + xo) * patch;
+        const std::int64_t ys = y * spec.stride - spec.pad;
+        const std::int64_t xs = xo * spec.stride - spec.pad;
+        std::int64_t k = 0;
+        for (std::int64_t kh = 0; kh < spec.kernel_h; ++kh) {
+          const std::int64_t yy = ys + kh;
+          for (std::int64_t kw = 0; kw < spec.kernel_w; ++kw) {
+            const std::int64_t xx = xs + kw;
+            if (yy >= 0 && yy < spec.in_h && xx >= 0 && xx < spec.in_w) {
+              const float* src = img + yy * hw_stride + xx * spec.in_c;
+              for (std::int64_t c = 0; c < spec.in_c; ++c) row[k++] = src[c];
+            } else {
+              for (std::int64_t c = 0; c < spec.in_c; ++c) row[k++] = 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+// The original per-element col2im (adjoint scatter), same role.
+inline Tensor naive_col2im(const Tensor& cols, const ConvSpec& spec,
+                           std::int64_t n) {
+  const std::int64_t oh = spec.out_h(), ow = spec.out_w();
+  const std::int64_t patch = spec.patch_size();
+  Tensor x({n, spec.in_h, spec.in_w, spec.in_c});
+  const float* pc = cols.data();
+  float* px = x.data();
+  const std::int64_t hw_stride = spec.in_w * spec.in_c;
+  for (std::int64_t b = 0; b < n; ++b) {
+    float* img = px + b * spec.in_h * hw_stride;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t xo = 0; xo < ow; ++xo) {
+        const float* row = pc + ((b * oh + y) * ow + xo) * patch;
+        const std::int64_t ys = y * spec.stride - spec.pad;
+        const std::int64_t xs = xo * spec.stride - spec.pad;
+        std::int64_t k = 0;
+        for (std::int64_t kh = 0; kh < spec.kernel_h; ++kh) {
+          const std::int64_t yy = ys + kh;
+          for (std::int64_t kw = 0; kw < spec.kernel_w; ++kw) {
+            const std::int64_t xx = xs + kw;
+            if (yy >= 0 && yy < spec.in_h && xx >= 0 && xx < spec.in_w) {
+              float* dst = img + yy * hw_stride + xx * spec.in_c;
+              for (std::int64_t c = 0; c < spec.in_c; ++c) dst[c] += row[k++];
+            } else {
+              k += spec.in_c;
+            }
+          }
+        }
+      }
+    }
+  }
+  return x;
+}
+
+}  // namespace fedcl::testing
