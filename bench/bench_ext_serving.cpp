@@ -1,0 +1,221 @@
+// Extension experiment: the multi-process serving path under load.
+// One ServingServer and two workers exchange every round over real
+// loopback TCP (the exact wire path fedcl_server/fedcl_client use),
+// while a churn prober hammers the admission surface with connections
+// the roster must refuse (Busy) and raw garbage the framing layer must
+// screen. Headline gates:
+//   (a) all rounds complete over the socket path,
+//   (b) the final model is BITWISE identical to fl::run_experiment at
+//       the same seed (docs/PROTOCOL.md §5),
+//   (c) every cohort update is accepted (no network-induced loss),
+//   (d) the churn prober was actually refused (admission control
+//       exercised, not idle).
+// Load metrics — admission churn connections/sec, accepted updates/sec,
+// p99 round latency — are class "time" (machine-specific, CI-ignored).
+// Exits nonzero when a headline gate fails, so bench_suite flags it.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/error.h"
+#include "fl/protocol.h"
+#include "fl/trainer.h"
+#include "net/client_worker.h"
+#include "net/frame.h"
+#include "net/serving_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace {
+
+using namespace fedcl;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double p99_ms(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx =
+      (samples.size() * 99 + 99) / 100 == 0
+          ? 0
+          : std::min(samples.size() - 1, (samples.size() * 99) / 100);
+  return samples[idx];
+}
+
+// Admission churn: connections the roster must refuse. Half present a
+// well-formed Hello with a mismatched federation shape (refused with
+// Busy), half send raw garbage (screened by the framing layer). Both
+// count toward the connections/sec figure — the bench measures how
+// fast the server turns away load while training.
+void churn_probe(int port, int num_workers, std::atomic<bool>& done,
+                 std::atomic<std::int64_t>& churned) {
+  const std::uint8_t garbage[16] = {0xde, 0xad, 0xbe, 0xef};
+  std::uint64_t i = 0;
+  while (!done.load(std::memory_order_relaxed)) {
+    Result<net::TcpConn> conn = net::TcpConn::connect("127.0.0.1", port, 500);
+    if (!conn.ok()) continue;
+    if (i++ % 2 == 0) {
+      net::HelloMsg hello;
+      hello.worker_index = 0;
+      hello.num_workers = static_cast<std::uint32_t>(num_workers) + 1;
+      net::write_frame(conn.value(), net::MsgType::kHello,
+                       net::encode_hello(hello));
+      net::Frame reply;
+      if (net::read_frame(conn.value(), reply, net::kDefaultMaxPayload,
+                          2000) == net::FrameStatus::kOk &&
+          reply.type == net::MsgType::kBusy) {
+        ++churned;
+      }
+    } else {
+      conn.value().send_all(garbage, sizeof(garbage));
+      ++churned;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags = bench::init_bench(argc, argv);
+  bench::print_preamble(
+      "bench_ext_serving",
+      "extension: multi-process serving path under admission churn");
+
+  const bench::FederationScale fed = bench::federation_scale();
+  constexpr int kNumWorkers = 2;
+
+  net::ExperimentDescriptor d;
+  const data::BenchmarkConfig bench =
+      data::benchmark_config(data::BenchmarkId::kCancer);
+  d.bench_id = static_cast<std::uint8_t>(data::BenchmarkId::kCancer);
+  d.scale = static_cast<std::uint8_t>(bench_scale());
+  d.policy = net::PolicyId::kFedCdp;
+  d.total_clients = std::max<std::int64_t>(fed.default_clients, 4);
+  d.clients_per_round = std::max<std::int64_t>(fed.default_per_round, 2);
+  d.rounds = fed.sweep_rounds > 0 ? std::max<std::int64_t>(fed.sweep_rounds, 5)
+                                  : 10;
+  d.local_iterations = bench.local_iterations;
+  d.sigma = data::default_noise_scale();
+  d.clip = data::kDefaultClippingBound;
+  d.seed = experiment_seed();
+
+  std::printf("K=%lld, Kt=%lld, T=%lld, %d workers over loopback TCP\n\n",
+              static_cast<long long>(d.total_clients),
+              static_cast<long long>(d.clients_per_round),
+              static_cast<long long>(d.rounds), kNumWorkers);
+
+  // ---- the socket path: server + 2 workers + churn, all real TCP ----
+  net::ServingOptions options;
+  options.port = 0;
+  options.num_workers = kNumWorkers;
+  Result<std::unique_ptr<net::ServingServer>> server =
+      net::ServingServer::create(d, options);
+  FEDCL_CHECK(server.ok()) << server.error();
+  const int port = server.value()->port();
+
+  const Clock::time_point start = Clock::now();
+  net::ServingReport report;
+  std::thread server_thread(
+      [&] { report = server.value()->run(); });
+  std::vector<std::thread> worker_threads;
+  for (int w = 0; w < kNumWorkers; ++w) {
+    worker_threads.emplace_back([port, w] {
+      net::WorkerConfig config;
+      config.port = port;
+      config.worker_index = w;
+      config.num_workers = kNumWorkers;
+      net::run_worker(config);
+    });
+  }
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> churned{0};
+  std::thread churn_thread(
+      [&] { churn_probe(port, kNumWorkers, done, churned); });
+
+  server_thread.join();
+  const double elapsed_s = seconds_since(start);
+  done.store(true, std::memory_order_relaxed);
+  churn_thread.join();
+  for (std::thread& t : worker_threads) t.join();
+  FEDCL_CHECK(report.ok) << report.error;
+
+  // ---- the yardstick: the in-process sync engine, same seed ----
+  fl::FlExperimentConfig cfg;
+  cfg.bench = bench;
+  cfg.total_clients = d.total_clients;
+  cfg.clients_per_round = d.clients_per_round;
+  cfg.rounds = d.rounds;
+  cfg.seed = d.seed;
+  cfg.eval_every = 0;
+  cfg.noise_scale = d.sigma;
+  std::unique_ptr<core::PrivacyPolicy> policy = net::make_policy(d);
+  fl::FlRunResult in_process = fl::run_experiment(cfg, *policy);
+
+  const bool parity =
+      fl::serialize_tensor_list(report.final_weights) ==
+      fl::serialize_tensor_list(in_process.final_weights);
+
+  const double churn_per_s =
+      elapsed_s > 0.0 ? static_cast<double>(churned.load()) / elapsed_s : 0.0;
+  const double updates_per_s =
+      elapsed_s > 0.0 ? static_cast<double>(report.updates_accepted) / elapsed_s
+                      : 0.0;
+  const double p99 = p99_ms(report.round_ms);
+
+  std::printf("rounds completed      %lld/%lld\n",
+              static_cast<long long>(report.completed_rounds),
+              static_cast<long long>(report.rounds));
+  std::printf("bitwise parity        %s (socket path vs fl::run_experiment)\n",
+              parity ? "YES" : "NO");
+  std::printf("updates accepted      %lld (%.1f/s)\n",
+              static_cast<long long>(report.updates_accepted), updates_per_s);
+  std::printf("admission churn       %lld refused (%.1f conn/s), "
+              "%lld frames screened\n",
+              static_cast<long long>(report.busy_rejected), churn_per_s,
+              static_cast<long long>(report.frames_rejected));
+  std::printf("round latency p99     %.2f ms (wall %.2f s)\n", p99, elapsed_s);
+
+  const std::int64_t expected_updates = d.rounds * d.clients_per_round;
+  const bool gate_rounds = report.completed_rounds == d.rounds;
+  const bool gate_updates = report.updates_accepted == expected_updates;
+  const bool gate_churn = churned.load() > 0;
+
+  json::Value doc = json::Value::object();
+  doc["bench"] = std::string("bench_ext_serving");
+  doc["rounds"] = static_cast<double>(d.rounds);
+  doc["workers"] = static_cast<double>(kNumWorkers);
+  bench::add_metric(doc, "serving_rounds_completed",
+                    static_cast<double>(report.completed_rounds), "higher",
+                    "count");
+  bench::add_metric(doc, "serving_parity_bitwise", parity ? 1.0 : 0.0,
+                    "higher", "count");
+  bench::add_metric(doc, "serving_updates_accepted",
+                    static_cast<double>(report.updates_accepted), "higher",
+                    "count");
+  bench::add_metric(doc, "serving_final_accuracy", report.final_accuracy,
+                    "higher", "accuracy");
+  bench::add_metric(doc, "serving_updates_per_s", updates_per_s, "higher",
+                    "time");
+  bench::add_metric(doc, "serving_churn_conn_per_s", churn_per_s, "higher",
+                    "time");
+  bench::add_metric(doc, "serving_p99_round_ms", p99, "lower", "time");
+  if (!bench::emit_bench_json("ext_serving", std::move(doc))) return 1;
+
+  if (!gate_rounds || !parity || !gate_updates || !gate_churn) {
+    std::fprintf(stderr,
+                 "GATE FAILED: rounds=%d parity=%d updates=%d churn=%d\n",
+                 gate_rounds, parity, gate_updates, gate_churn);
+    return 1;
+  }
+  std::printf("\nall gates passed\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// fedcl_client: one worker process of the multi-process serving path
+// (docs/DEPLOYMENT.md). Connects to a fedcl_server, receives the
+// experiment descriptor, rebuilds its hosted clients' data shards and
+// model from the shared seed, and serves training rounds until the
+// server says Bye.
+//
+// Example (2-worker deployment):
+//   fedcl_client --port=7100 --worker-index=0 --workers=2 &
+//   fedcl_client --port=7100 --worker-index=1 --workers=2 &
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "common/flags.h"
+#include "common/run_info.h"
+#include "net/client_worker.h"
+
+namespace {
+
+using namespace fedcl;
+
+void print_usage(const char* program) {
+  std::printf(
+      "usage: %s --port=N [--host=ADDR] [--worker-index=I] [--workers=N]\n"
+      "          [--connect-timeout-ms=T] [--io-timeout-ms=T]\n"
+      "  Hosts every client c with c %% workers == worker-index.\n",
+      program);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runinfo::set_command_line(argc, argv);
+  FlagParser flags(argc, argv);
+  if (flags.has("help")) {
+    print_usage(flags.program().c_str());
+    return 0;
+  }
+  if (!flags.has("port")) {
+    std::fprintf(stderr, "fedcl_client: --port is required\n");
+    print_usage(flags.program().c_str());
+    return 1;
+  }
+  net::WorkerConfig config;
+  config.host = flags.get("host", "127.0.0.1");
+  config.port = static_cast<int>(flags.get_int("port", 0));
+  config.worker_index = static_cast<int>(flags.get_int("worker-index", 0));
+  config.num_workers = static_cast<int>(flags.get_int("workers", 1));
+  config.connect_timeout_ms =
+      static_cast<int>(flags.get_int("connect-timeout-ms", 10000));
+  config.io_timeout_ms =
+      static_cast<int>(flags.get_int("io-timeout-ms", 60000));
+  try {
+    Result<net::WorkerReport> report = net::run_worker(config);
+    if (!report.ok()) {
+      std::fprintf(stderr, "fedcl_client: %s\n", report.error().c_str());
+      return 1;
+    }
+    std::printf("fedcl_client: done — served %lld rounds, trained %lld "
+                "client updates\n",
+                static_cast<long long>(report.value().rounds_served),
+                static_cast<long long>(report.value().clients_trained));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fedcl_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -28,6 +28,7 @@
 #include "data/benchmarks.h"
 #include "fl/dssgd.h"
 #include "fl/trainer.h"
+#include "nn/checkpoint.h"
 
 namespace {
 
@@ -82,7 +83,8 @@ void print_usage(const char* program) {
       "          [--reduced-quorum=N]\n"
       "          [--telemetry-out=FILE.jsonl] [--telemetry-prom=FILE.prom]\n"
       "          [--metrics-port=N]  (serve /metrics over HTTP; 0 = "
-      "ephemeral port)\n",
+      "ephemeral port)\n"
+      "          [--save=FILE.ckpt]  (write the final global model)\n",
       program);
 }
 
@@ -252,6 +254,12 @@ int run_simulator(const FlagParser& flags) {
                               1, config.clients_per_round / 2)),
                 config.async.staleness_alpha,
                 static_cast<long long>(config.async.max_staleness));
+  }
+
+  const std::string save_path = flags.get("save", "");
+  if (!save_path.empty()) {
+    nn::save_weights(save_path, result.final_weights);
+    std::printf("saved global model to %s\n", save_path.c_str());
   }
 
   core::PrivacyReport report = core::account_privacy(result.privacy_setup);

@@ -21,16 +21,18 @@ void append_pod(std::vector<std::uint8_t>& out, const T& v) {
   out.insert(out.end(), p, p + sizeof(T));
 }
 
-// Bounds-checked read cursor over an untrusted buffer.
+// Bounds-checked read cursor over an untrusted buffer. Operating on a
+// ByteSpan keeps the cursor zero-copy: the network layer points it at
+// a frame inside its receive buffer and the only copy of the payload
+// is the memcpy into the destination tensor.
 class ByteReader {
  public:
-  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
-      : bytes_(bytes) {}
+  explicit ByteReader(ByteSpan bytes) : bytes_(bytes) {}
 
   template <typename T>
   bool read(T& out) {
     if (sizeof(T) > remaining()) return false;
-    std::memcpy(&out, bytes_.data() + offset_, sizeof(T));
+    std::memcpy(&out, bytes_.data + offset_, sizeof(T));
     offset_ += sizeof(T);
     return true;
   }
@@ -41,17 +43,53 @@ class ByteReader {
         nbytes > remaining()) {
       return false;
     }
-    std::memcpy(dst, bytes_.data() + offset_, nbytes);
+    std::memcpy(dst, bytes_.data + offset_, nbytes);
     offset_ += nbytes;
     return true;
   }
 
-  std::size_t remaining() const { return bytes_.size() - offset_; }
+  std::size_t remaining() const { return bytes_.size - offset_; }
 
  private:
-  const std::vector<std::uint8_t>& bytes_;
+  ByteSpan bytes_;
   std::size_t offset_ = 0;
 };
+
+// Reads one tensor-list blob; on failure returns the reason, leaving
+// `out` partially filled (callers discard it).
+const char* read_tensor_list(ByteReader& reader, TensorList& out) {
+  std::uint32_t count = 0;
+  if (!reader.read(count)) return "truncated tensor count";
+  if (count > kMaxTensors) return "implausible tensor count";
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t ndim = 0;
+    if (!reader.read(ndim)) return "truncated tensor rank";
+    if (ndim > kMaxRank) return "implausible tensor rank";
+    tensor::Shape shape;
+    std::int64_t numel = 1;
+    for (std::uint32_t d = 0; d < ndim; ++d) {
+      std::int64_t dim = 0;
+      if (!reader.read(dim)) return "truncated tensor shape";
+      if (dim <= 0 || dim > kMaxElements || numel > kMaxElements / dim) {
+        return "implausible tensor dimension";
+      }
+      numel *= dim;
+      shape.push_back(dim);
+    }
+    // Cheap size check before the allocation the shape implies.
+    if (sizeof(float) * static_cast<std::size_t>(numel) >
+        reader.remaining()) {
+      return "truncated tensor data";
+    }
+    tensor::Tensor t(shape);
+    if (!reader.read_floats(t.data(), static_cast<std::size_t>(t.numel()))) {
+      return "truncated tensor data";
+    }
+    out.push_back(std::move(t));
+  }
+  return nullptr;
+}
 
 std::uint64_t splitmix64_step(std::uint64_t& state) {
   state += 0x9E3779B97F4A7C15ULL;
@@ -82,13 +120,11 @@ void apply_keystream(std::vector<std::uint8_t>& bytes, std::uint64_t key) {
 
 }  // namespace
 
-std::vector<std::uint8_t> serialize_update(const ClientUpdate& update) {
-  std::vector<std::uint8_t> out;
-  append_pod(out, update.client_id);
-  append_pod(out, update.round);
-  append_pod(out, static_cast<std::uint32_t>(update.delta.size()));
-  for (const auto& t : update.delta) {
-    FEDCL_CHECK(t.defined()) << "undefined tensor in update";
+void append_tensor_list(std::vector<std::uint8_t>& out,
+                        const TensorList& list) {
+  append_pod(out, static_cast<std::uint32_t>(list.size()));
+  for (const auto& t : list) {
+    FEDCL_CHECK(t.defined()) << "undefined tensor in list";
     append_pod(out, static_cast<std::uint32_t>(t.ndim()));
     for (std::size_t d = 0; d < t.ndim(); ++d) {
       append_pod(out, static_cast<std::int64_t>(t.dim(d)));
@@ -96,49 +132,55 @@ std::vector<std::uint8_t> serialize_update(const ClientUpdate& update) {
     const auto* p = reinterpret_cast<const std::uint8_t*>(t.data());
     out.insert(out.end(), p, p + sizeof(float) * t.numel());
   }
+}
+
+std::vector<std::uint8_t> serialize_tensor_list(const TensorList& list) {
+  std::vector<std::uint8_t> out;
+  append_tensor_list(out, list);
   return out;
+}
+
+Result<TensorList> deserialize_tensor_list(ByteSpan bytes) {
+  using R = Result<TensorList>;
+  ByteReader reader(bytes);
+  TensorList list;
+  if (const char* err = read_tensor_list(reader, list)) return R::failure(err);
+  if (reader.remaining() != 0) return R::failure("trailing bytes in message");
+  return list;
+}
+
+std::vector<std::uint8_t> serialize_update(const ClientUpdate& update) {
+  std::vector<std::uint8_t> out;
+  append_pod(out, update.client_id);
+  append_pod(out, update.round);
+  append_tensor_list(out, update.delta);
+  return out;
+}
+
+Result<ClientUpdate> deserialize_update(ByteSpan bytes) {
+  using R = Result<ClientUpdate>;
+  ByteReader reader(bytes);
+  ClientUpdate update;
+  if (!reader.read(update.client_id) || !reader.read(update.round)) {
+    return R::failure("truncated header");
+  }
+  if (const char* err = read_tensor_list(reader, update.delta)) {
+    return R::failure(err);
+  }
+  if (reader.remaining() != 0) return R::failure("trailing bytes in message");
+  return update;
 }
 
 Result<ClientUpdate> deserialize_update(
     const std::vector<std::uint8_t>& bytes) {
-  using R = Result<ClientUpdate>;
-  ByteReader reader(bytes);
-  ClientUpdate update;
-  std::uint32_t count = 0;
-  if (!reader.read(update.client_id) || !reader.read(update.round) ||
-      !reader.read(count)) {
-    return R::failure("truncated header");
-  }
-  if (count > kMaxTensors) return R::failure("implausible tensor count");
-  update.delta.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    std::uint32_t ndim = 0;
-    if (!reader.read(ndim)) return R::failure("truncated tensor rank");
-    if (ndim > kMaxRank) return R::failure("implausible tensor rank");
-    tensor::Shape shape;
-    std::int64_t numel = 1;
-    for (std::uint32_t d = 0; d < ndim; ++d) {
-      std::int64_t dim = 0;
-      if (!reader.read(dim)) return R::failure("truncated tensor shape");
-      if (dim <= 0 || dim > kMaxElements || numel > kMaxElements / dim) {
-        return R::failure("implausible tensor dimension");
-      }
-      numel *= dim;
-      shape.push_back(dim);
-    }
-    // Cheap size check before the allocation the shape implies.
-    if (sizeof(float) * static_cast<std::size_t>(numel) >
-        reader.remaining()) {
-      return R::failure("truncated tensor data");
-    }
-    tensor::Tensor t(shape);
-    if (!reader.read_floats(t.data(), static_cast<std::size_t>(t.numel()))) {
-      return R::failure("truncated tensor data");
-    }
-    update.delta.push_back(std::move(t));
-  }
-  if (reader.remaining() != 0) return R::failure("trailing bytes in message");
-  return update;
+  return deserialize_update(ByteSpan(bytes));
+}
+
+std::uint64_t client_channel_key(std::uint64_t experiment_seed,
+                                 std::int64_t client_id) {
+  return experiment_seed ^
+         (0x5EC2E7ULL +
+          static_cast<std::uint64_t>(client_id) * 0x9E3779B97F4A7C15ULL);
 }
 
 std::vector<std::uint8_t> SecureChannel::seal(

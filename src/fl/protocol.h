@@ -34,10 +34,42 @@ struct ClientUpdate {
   TensorList delta;
 };
 
+// Non-owning view over received bytes. The network layer deserializes
+// straight out of a connection's receive buffer through this — no
+// intermediate vector copy; the one memcpy per tensor lands the floats
+// directly in the Tensor the aggregator consumes.
+struct ByteSpan {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+
+  ByteSpan() = default;
+  ByteSpan(const std::uint8_t* d, std::size_t n) : data(d), size(n) {}
+  ByteSpan(const std::vector<std::uint8_t>& v)  // NOLINT: implicit view
+      : data(v.data()), size(v.size()) {}
+};
+
 std::vector<std::uint8_t> serialize_update(const ClientUpdate& update);
 // Every read is bounds-checked; fails (never crashes or over-reads) on
 // truncated, oversized, or otherwise malformed buffers.
+Result<ClientUpdate> deserialize_update(ByteSpan bytes);
 Result<ClientUpdate> deserialize_update(const std::vector<std::uint8_t>& bytes);
+
+// The tensor-list blob shared by update payloads and the wire
+// protocol's model broadcast (docs/PROTOCOL.md): u32 count, then per
+// tensor u32 rank, i64 dims, raw little-endian f32 data.
+void append_tensor_list(std::vector<std::uint8_t>& out, const TensorList& list);
+std::vector<std::uint8_t> serialize_tensor_list(const TensorList& list);
+// Bounds-checked (same caps as deserialize_update); fails on any
+// truncated, oversized, or implausible field. Requires the whole span
+// to be consumed (no trailing bytes).
+Result<TensorList> deserialize_tensor_list(ByteSpan bytes);
+
+// Per-client channel key derivation, shared by the in-process trainer
+// and the socket serving path (docs/PROTOCOL.md §4): both sides of a
+// connection derive the same key from the experiment seed alone, so no
+// key material ever crosses the wire.
+std::uint64_t client_channel_key(std::uint64_t experiment_seed,
+                                 std::int64_t client_id);
 
 class SecureChannel {
  public:

@@ -379,8 +379,7 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
           a.outcome.update.round = t - 1;  // replay of the prior round
         }
         SecureChannel channel(
-            config.seed ^ (0x5EC2E7ULL + static_cast<std::uint64_t>(a.ci) *
-                                             0x9E3779B97F4A7C15ULL));
+            client_channel_key(config.seed, static_cast<std::int64_t>(a.ci)));
         std::vector<std::uint8_t> wire =
             channel.seal(serialize_update(a.outcome.update));
         if (a.fault == FaultType::kBitFlip) {
@@ -779,8 +778,7 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
         // Transport: serialize -> seal -> (hostile channel) -> open ->
         // deserialize. A decode failure drops this client's update only.
         SecureChannel channel(
-            config.seed ^ (0x5EC2E7ULL + static_cast<std::uint64_t>(a.ci) *
-                                             0x9E3779B97F4A7C15ULL));
+            client_channel_key(config.seed, static_cast<std::int64_t>(a.ci)));
         std::vector<std::uint8_t> wire =
             channel.seal(serialize_update(outcome.update));
         if (a.fault == FaultType::kBitFlip) {

@@ -1,0 +1,178 @@
+#include "net/client_worker.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/benchmarks.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/compression.h"
+#include "fl/protocol.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "nn/model_zoo.h"
+
+namespace fedcl::net {
+
+Result<WorkerReport> run_worker(const WorkerConfig& config) {
+  using R = Result<WorkerReport>;
+  if (config.num_workers <= 0 || config.worker_index < 0 ||
+      config.worker_index >= config.num_workers) {
+    return R::failure("worker_index " + std::to_string(config.worker_index) +
+                      " out of range for " +
+                      std::to_string(config.num_workers) + " workers");
+  }
+
+  Result<TcpConn> connected =
+      TcpConn::connect(config.host, config.port, config.connect_timeout_ms);
+  if (!connected.ok()) return R::failure(connected.error());
+  TcpConn conn = connected.take();
+
+  HelloMsg hello;
+  hello.worker_index = static_cast<std::uint32_t>(config.worker_index);
+  hello.num_workers = static_cast<std::uint32_t>(config.num_workers);
+  if (!write_frame(conn, MsgType::kHello, encode_hello(hello))) {
+    return R::failure("failed to send hello");
+  }
+
+  Frame frame;
+  FrameStatus st =
+      read_frame(conn, frame, kDefaultMaxPayload, config.connect_timeout_ms);
+  if (st != FrameStatus::kOk) {
+    return R::failure(std::string("handshake failed: ") +
+                      frame_status_name(st));
+  }
+  if (frame.type == MsgType::kBusy) {
+    return R::failure("admission refused: " +
+                      std::string(frame.payload.begin(),
+                                  frame.payload.end()));
+  }
+  if (frame.type != MsgType::kWelcome) {
+    return R::failure(std::string("expected welcome, got ") +
+                      msg_type_name(frame.type));
+  }
+  Result<ExperimentDescriptor> decoded = decode_descriptor(frame.payload);
+  if (!decoded.ok()) {
+    return R::failure("bad welcome descriptor: " + decoded.error());
+  }
+  const ExperimentDescriptor d = decoded.take();
+
+  // ---- rebuild the client-side experiment from the descriptor: the
+  // same forked streams the in-process trainer consumes, so shards,
+  // model init, and per-round training are bit-identical ----
+  const data::BenchmarkConfig bench = data::benchmark_config(
+      static_cast<data::BenchmarkId>(d.bench_id),
+      static_cast<BenchScale>(d.scale));
+  Rng root(d.seed);
+  Rng data_rng = root.fork("train-data");
+  Rng part_rng = root.fork("partition");
+  Rng model_rng = root.fork("model");
+  Rng round_rng = root.fork("rounds");
+
+  auto train = std::make_shared<data::Dataset>(
+      data::generate_synthetic(bench.train_spec, data_rng));
+  data::PartitionSpec part = bench.partition;
+  part.num_clients = d.total_clients;
+  std::vector<data::ClientData> shards =
+      data::partition(train, part, part_rng);
+
+  const fl::LocalTrainConfig local{
+      .local_iterations = d.local_iterations,
+      .batch_size = bench.batch_size,
+      .learning_rate = bench.learning_rate,
+      .lr_decay_per_round = bench.lr_decay_per_round};
+  std::map<std::int64_t, fl::Client> hosted;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (static_cast<int>(i % static_cast<std::size_t>(config.num_workers)) !=
+        config.worker_index) {
+      continue;
+    }
+    hosted.emplace(
+        std::piecewise_construct,
+        std::forward_as_tuple(static_cast<std::int64_t>(i)),
+        std::forward_as_tuple(static_cast<std::int64_t>(i),
+                              std::move(shards[i]), local));
+  }
+
+  std::shared_ptr<nn::Sequential> model =
+      nn::build_model(bench.model, model_rng);
+  std::unique_ptr<core::PrivacyPolicy> policy = make_policy(d);
+
+  FEDCL_LOG(Info) << "fedcl_client: worker " << config.worker_index << "/"
+                  << config.num_workers << " hosting " << hosted.size()
+                  << " of " << d.total_clients << " clients on "
+                  << bench.name;
+
+  WorkerReport report;
+  for (;;) {
+    st = read_frame(conn, frame, kDefaultMaxPayload, config.io_timeout_ms);
+    if (st == FrameStatus::kClosed || st == FrameStatus::kTimeout) {
+      return R::failure(std::string("server went away: ") +
+                        frame_status_name(st));
+    }
+    if (st != FrameStatus::kOk) {
+      return R::failure(std::string("framing error: ") +
+                        frame_status_name(st));
+    }
+    if (frame.type == MsgType::kBye) break;
+    if (frame.type != MsgType::kTrainRequest) {
+      return R::failure(std::string("unexpected frame: ") +
+                        msg_type_name(frame.type));
+    }
+    Result<TrainRequestMsg> request = decode_train_request(frame.payload);
+    if (!request.ok()) {
+      return R::failure("bad train request: " + request.error());
+    }
+    TrainRequestMsg req = request.take();
+    Result<fl::TensorList> weights =
+        fl::deserialize_tensor_list(fl::ByteSpan(req.weights_blob));
+    if (!weights.ok()) {
+      return R::failure("bad global weights: " + weights.error());
+    }
+    const fl::TensorList global_weights = weights.take();
+
+    for (std::int64_t ci : req.client_ids) {
+      auto it = hosted.find(ci);
+      if (it == hosted.end()) {
+        TrainErrorMsg err;
+        err.client_id = ci;
+        err.message = "client not hosted by worker " +
+                      std::to_string(config.worker_index);
+        if (!write_frame(conn, MsgType::kTrainError,
+                         encode_train_error(err))) {
+          return R::failure("failed to send train error");
+        }
+        continue;
+      }
+      // The same per-(round, client) stream the in-process trainer
+      // forks — the label discipline is the parity guarantee.
+      Rng crng = round_rng.fork(
+          "client", static_cast<std::uint64_t>(req.round * 1000003 + ci));
+      fl::ClientRoundOutcome outcome = it->second.run_round(
+          *model, global_weights, *policy, req.round, crng);
+      if (d.prune_ratio > 0.0) {
+        fl::prune_smallest(outcome.update.delta, d.prune_ratio);
+      }
+      fl::SecureChannel channel(fl::client_channel_key(d.seed, ci));
+      UpdateMsg msg;
+      msg.client_id = ci;
+      msg.data_size = static_cast<std::int64_t>(it->second.data().size());
+      msg.sealed = channel.seal(fl::serialize_update(outcome.update));
+      if (!write_frame(conn, MsgType::kUpdate, encode_update(msg))) {
+        return R::failure("failed to send update");
+      }
+      ++report.clients_trained;
+    }
+    ++report.rounds_served;
+  }
+  return report;
+}
+
+}  // namespace fedcl::net

@@ -1,0 +1,767 @@
+#include "net/serving_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/protocol.h"
+#include "fl/server.h"
+#include "nn/grad_utils.h"
+#include "nn/model_zoo.h"
+
+namespace fedcl::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// One admitted worker connection plus (async engine) its outstanding
+// dispatches: the backpressure window is the deque length.
+struct WorkerSlot {
+  TcpConn conn;
+  bool alive = false;
+  struct Outstanding {
+    std::int64_t round = 0;
+    std::unordered_set<std::int64_t> remaining;
+  };
+  std::deque<Outstanding> outstanding;
+
+  std::size_t outstanding_clients() const {
+    std::size_t n = 0;
+    for (const auto& o : outstanding) n += o.remaining.size();
+    return n;
+  }
+};
+
+}  // namespace
+
+ServingServer::ServingServer(ExperimentDescriptor descriptor,
+                             ServingOptions options, TcpListener listener)
+    : descriptor_(descriptor),
+      options_(options),
+      listener_(std::move(listener)) {}
+
+ServingServer::~ServingServer() = default;
+
+Result<std::unique_ptr<ServingServer>> ServingServer::create(
+    ExperimentDescriptor descriptor, ServingOptions options) {
+  using R = Result<std::unique_ptr<ServingServer>>;
+  Result<ExperimentDescriptor> valid = validate_descriptor(descriptor);
+  if (!valid.ok()) return R::failure(valid.error());
+  if (options.num_workers <= 0) {
+    return R::failure("num_workers must be positive");
+  }
+  Result<TcpListener> listener = TcpListener::bind(options.port);
+  if (!listener.ok()) return R::failure(listener.error());
+  return std::unique_ptr<ServingServer>(new ServingServer(
+      valid.take(), options, listener.take()));
+}
+
+ServingReport ServingServer::run() {
+  const ExperimentDescriptor& d = descriptor_;
+  telemetry::Registry& reg = telemetry::global_registry();
+  reg.reset();
+
+  ServingReport report;
+  report.rounds = d.rounds;
+
+  // -------- experiment state, from the descriptor alone (the workers
+  // reconstruct theirs from the identical Welcome bytes) --------
+  const data::BenchmarkConfig bench = data::benchmark_config(
+      static_cast<data::BenchmarkId>(d.bench_id),
+      static_cast<BenchScale>(d.scale));
+  Rng root(d.seed);
+  Rng val_rng = root.fork("val-data");
+  Rng model_rng = root.fork("model");
+  Rng round_rng = root.fork("rounds");
+  data::Dataset val = data::generate_synthetic(bench.val_spec, val_rng);
+  std::shared_ptr<nn::Sequential> model =
+      nn::build_model(bench.model, model_rng);
+  const dp::ParamGroups groups = fl::to_param_groups(model->layer_groups());
+  std::unique_ptr<core::PrivacyPolicy> policy = make_policy(d);
+
+  // -------- admission: roster handshake + standing Busy refusals ----
+  const std::vector<std::uint8_t> welcome = encode_descriptor(d);
+  std::mutex roster_mutex;
+  std::condition_variable roster_cv;
+  std::vector<WorkerSlot> workers(
+      static_cast<std::size_t>(options_.num_workers));
+  int registered = 0;
+  bool roster_closed = false;
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> busy_rejected{0};
+  std::atomic<std::int64_t> frames_rejected{0};
+
+  auto reject_frame = [&](const char* reason) {
+    ++frames_rejected;
+    reg.counter("fl.net.frames_rejected_total", {{"reason", reason}}).add(1);
+  };
+
+  std::thread accept_thread([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      TcpConn conn = listener_.accept(50);
+      if (!conn.valid()) continue;
+      Frame frame;
+      // A connection that cannot produce a well-formed Hello promptly
+      // is screened out here — this is the surface the malformed-frame
+      // tests and the load-gen churn probes hit.
+      const FrameStatus st =
+          read_frame(conn, frame, options_.max_frame_bytes, 2000);
+      if (st != FrameStatus::kOk) {
+        reject_frame(frame_status_name(st));
+        continue;
+      }
+      if (frame.type != MsgType::kHello) {
+        reject_frame("unexpected-type");
+        continue;
+      }
+      Result<HelloMsg> hello = decode_hello(frame.payload);
+      bool admitted = false;
+      if (hello.ok() &&
+          hello.value().num_workers ==
+              static_cast<std::uint32_t>(options_.num_workers)) {
+        std::lock_guard<std::mutex> lock(roster_mutex);
+        WorkerSlot& slot = workers[hello.value().worker_index];
+        if (!roster_closed && !slot.alive &&
+            write_frame(conn, MsgType::kWelcome, welcome)) {
+          slot.conn = std::move(conn);
+          slot.alive = true;
+          ++registered;
+          admitted = true;
+          reg.counter("fl.net.connections_accepted_total").add(1);
+          roster_cv.notify_all();
+        }
+      }
+      if (!admitted) {
+        ++busy_rejected;
+        reg.counter("fl.net.connections_rejected_total").add(1);
+        static const char kBusyReason[] = "server at capacity";
+        write_frame(conn, MsgType::kBusy,
+                    reinterpret_cast<const std::uint8_t*>(kBusyReason),
+                    sizeof(kBusyReason) - 1);
+      }
+    }
+  });
+
+  auto finish = [&](ServingReport&& r) {
+    stop.store(true, std::memory_order_relaxed);
+    accept_thread.join();
+    for (WorkerSlot& w : workers) {
+      if (w.alive) write_frame(w.conn, MsgType::kBye, nullptr, 0);
+    }
+    r.busy_rejected = busy_rejected.load();
+    r.frames_rejected = frames_rejected.load();
+    reg.flush_sinks();
+    return std::move(r);
+  };
+
+  {
+    std::unique_lock<std::mutex> lock(roster_mutex);
+    if (!roster_cv.wait_for(
+            lock, std::chrono::milliseconds(options_.accept_timeout_ms),
+            [&] { return registered == options_.num_workers; })) {
+      report.error = "worker roster incomplete: " +
+                     std::to_string(registered) + "/" +
+                     std::to_string(options_.num_workers) +
+                     " workers connected within " +
+                     std::to_string(options_.accept_timeout_ms) + " ms";
+      return finish(std::move(report));
+    }
+    roster_closed = true;
+  }
+  FEDCL_LOG(Info) << "fedcl_server: roster complete ("
+                  << options_.num_workers << " workers), starting "
+                  << d.rounds << " rounds";
+
+  // -------- shared round-loop plumbing ------------------------------
+  auto kill_worker = [&](WorkerSlot& w, const char* why) {
+    if (!w.alive) return;
+    w.alive = false;
+    w.conn.close();
+    if (std::strcmp(why, "timeout") == 0) {
+      reg.counter("fl.net.timeouts_total").add(1);
+    } else {
+      reg.counter("fl.net.disconnects_total").add(1);
+    }
+    FEDCL_LOG(Warn) << "fedcl_server: worker lost (" << why << ")";
+  };
+
+  // A deadline miss is an injected straggler that expired; a lost
+  // connection an injected crash that expired — the same disposition
+  // ledger the in-process engines keep (see fault_injection.h).
+  auto expire_straggler = [&](fl::RoundFailureStats& stats, std::size_t n) {
+    stats.injected_straggler += static_cast<std::int64_t>(n);
+    stats.fault_expired += static_cast<std::int64_t>(n);
+  };
+  auto expire_crash = [&](fl::RoundFailureStats& stats, std::size_t n) {
+    stats.injected_crash += static_cast<std::int64_t>(n);
+    stats.fault_expired += static_cast<std::int64_t>(n);
+  };
+
+  auto record_round_counters = [&](const fl::RoundFailureStats& stats) {
+    auto count_fault = [&](const char* type, std::int64_t n) {
+      if (n > 0) {
+        reg.counter("fl.faults.injected_total", {{"type", type}}).add(n);
+      }
+    };
+    count_fault("crash", stats.injected_crash);
+    count_fault("straggler", stats.injected_straggler);
+    if (stats.rejected_decode > 0) {
+      reg.counter("fl.transport.rejected_decode_total")
+          .add(stats.rejected_decode);
+    }
+    if (stats.fault_expired > 0) {
+      reg.counter("fl.retry.expired_total").add(stats.fault_expired);
+    }
+  };
+
+  // Opens and deserializes one UpdateMsg through the per-client channel
+  // (docs/PROTOCOL.md §4). nullopt = decode rejection, already tallied.
+  auto open_update = [&](UpdateMsg msg, fl::RoundFailureStats& stats)
+      -> std::optional<fl::ClientUpdate> {
+    fl::SecureChannel channel(
+        fl::client_channel_key(d.seed, msg.client_id));
+    Result<std::vector<std::uint8_t>> opened =
+        channel.open(std::move(msg.sealed));
+    if (!opened.ok()) {
+      ++stats.rejected_decode;
+      return std::nullopt;
+    }
+    Result<fl::ClientUpdate> decoded =
+        fl::deserialize_update(fl::ByteSpan(opened.value()));
+    if (!decoded.ok()) {
+      ++stats.rejected_decode;
+      return std::nullopt;
+    }
+    return decoded.take();
+  };
+
+  const Clock::time_point run_start = Clock::now();
+
+  if (!options_.async_mode) {
+    // ================= synchronous (bitwise-parity) engine ==========
+    fl::Server server(model->weights(),
+                      {.server_momentum = options_.server_momentum,
+                       .screening = options_.screening,
+                       .min_reporting = options_.min_reporting,
+                       .reduced_min_reporting =
+                           options_.reduced_min_reporting});
+
+    for (std::int64_t t = 0; t < d.rounds; ++t) {
+      const Clock::time_point round_start = Clock::now();
+      telemetry::SpanTimer round_span(reg, "fl.round", {}, t);
+      fl::RoundFailureStats stats;
+
+      Rng sample_rng =
+          round_rng.fork("sample", static_cast<std::uint64_t>(t));
+      const std::vector<std::size_t> chosen = server.sample_clients(
+          static_cast<std::size_t>(d.total_clients),
+          static_cast<std::size_t>(d.clients_per_round), sample_rng);
+
+      // Cohort slots, so updates re-assemble in sampling order no
+      // matter which worker answers first — the order the in-process
+      // deliver phase consumes them in.
+      std::unordered_map<std::int64_t, std::size_t> slot_of;
+      for (std::size_t i = 0; i < chosen.size(); ++i) {
+        slot_of[static_cast<std::int64_t>(chosen[i])] = i;
+      }
+      std::vector<std::optional<std::pair<fl::ClientUpdate, double>>> got(
+          chosen.size());
+
+      std::vector<std::vector<std::int64_t>> ids_per_worker(workers.size());
+      for (std::size_t ci : chosen) {
+        ids_per_worker[ci % workers.size()].push_back(
+            static_cast<std::int64_t>(ci));
+      }
+      const std::vector<std::uint8_t> weights_blob =
+          fl::serialize_tensor_list(server.weights());
+
+      for (std::size_t w = 0; w < workers.size(); ++w) {
+        if (ids_per_worker[w].empty()) continue;
+        if (!workers[w].alive) {
+          expire_crash(stats, ids_per_worker[w].size());
+          continue;
+        }
+        TrainRequestMsg req;
+        req.round = t;
+        req.client_ids = ids_per_worker[w];
+        req.weights_blob = weights_blob;
+        if (!write_frame(workers[w].conn, MsgType::kTrainRequest,
+                         encode_train_request(req))) {
+          kill_worker(workers[w], "send failed");
+          expire_crash(stats, ids_per_worker[w].size());
+          continue;
+        }
+        reg.counter("fl.net.frames_sent_total").add(1);
+      }
+
+      // Collect worker by worker: replies queue in each socket while
+      // the others compute, so serial reads lose no concurrency.
+      for (std::size_t w = 0; w < workers.size(); ++w) {
+        if (ids_per_worker[w].empty() || !workers[w].alive) continue;
+        std::unordered_set<std::int64_t> pending(
+            ids_per_worker[w].begin(), ids_per_worker[w].end());
+        while (!pending.empty()) {
+          Frame frame;
+          const FrameStatus st =
+              read_frame(workers[w].conn, frame, options_.max_frame_bytes,
+                         options_.io_timeout_ms);
+          if (st == FrameStatus::kTimeout) {
+            // Sync engine is fail-stop on the deadline: the round
+            // cannot wait longer, and a desynchronized reply stream is
+            // unusable afterwards.
+            expire_straggler(stats, pending.size());
+            kill_worker(workers[w], "timeout");
+            break;
+          }
+          if (st != FrameStatus::kOk) {
+            reject_frame(frame_status_name(st));
+            expire_crash(stats, pending.size());
+            kill_worker(workers[w], "disconnect");
+            break;
+          }
+          reg.counter("fl.net.frames_received_total").add(1);
+          if (frame.type == MsgType::kUpdate) {
+            Result<UpdateMsg> decoded = decode_update(frame.payload);
+            if (!decoded.ok() ||
+                pending.count(decoded.value().client_id) == 0) {
+              reject_frame("bad-payload");
+              expire_crash(stats, pending.size());
+              kill_worker(workers[w], "protocol violation");
+              break;
+            }
+            UpdateMsg msg = decoded.take();
+            pending.erase(msg.client_id);
+            const double weight = static_cast<double>(msg.data_size);
+            const std::size_t slot = slot_of[msg.client_id];
+            if (std::optional<fl::ClientUpdate> u =
+                    open_update(std::move(msg), stats)) {
+              got[slot] = std::make_pair(std::move(*u), weight);
+            }
+          } else if (frame.type == MsgType::kTrainError) {
+            Result<TrainErrorMsg> err = decode_train_error(frame.payload);
+            if (!err.ok() || pending.count(err.value().client_id) == 0) {
+              reject_frame("bad-payload");
+              expire_crash(stats, pending.size());
+              kill_worker(workers[w], "protocol violation");
+              break;
+            }
+            FEDCL_LOG(Warn) << "fedcl_server: client "
+                            << err.value().client_id
+                            << " failed: " << err.value().message;
+            pending.erase(err.value().client_id);
+            expire_crash(stats, 1);
+          } else {
+            reject_frame("unexpected-type");
+            expire_crash(stats, pending.size());
+            kill_worker(workers[w], "protocol violation");
+            break;
+          }
+        }
+      }
+
+      std::vector<fl::ClientUpdate> updates;
+      std::vector<double> update_weights;
+      for (auto& g : got) {
+        if (!g.has_value()) continue;
+        updates.push_back(std::move(g->first));
+        update_weights.push_back(g->second);
+      }
+
+      bool applied = false;
+      std::int64_t round_accepted = 0;
+      if (!updates.empty()) {
+        telemetry::SpanTimer aggregate_span(
+            reg, "fl.phase", {{"phase", "aggregate"}}, t);
+        Rng agg_rng =
+            round_rng.fork("aggregate", static_cast<std::uint64_t>(t));
+        fl::AggregateOutcome outcome = server.aggregate(
+            std::move(updates), *policy, groups, agg_rng,
+            options_.weight_by_data_size ? &update_weights : nullptr);
+        stats.rejected_shape += outcome.screening.rejected_shape;
+        stats.rejected_non_finite += outcome.screening.rejected_non_finite;
+        stats.rejected_norm_outlier +=
+            outcome.screening.rejected_norm_outlier;
+        stats.rejected_stale += outcome.screening.rejected_stale;
+        round_accepted = outcome.screening.accepted;
+        applied = outcome.applied;
+        if (outcome.tier == fl::DegradationTier::kReducedQuorum) {
+          ++stats.reduced_quorum_rounds;
+          ++report.reduced_quorum_rounds;
+          reg.counter("fl.round.degraded_total",
+                      {{"tier", fl::degradation_tier_name(outcome.tier)}})
+              .add(1);
+          reg.record_point("fl.round.noise_widening", t,
+                           outcome.noise_widening);
+        }
+      }
+
+      reg.record_point("fl.round.accepted", t,
+                       static_cast<double>(round_accepted));
+      reg.record_point("fl.round.rejected", t,
+                       static_cast<double>(stats.rejected_total()));
+      record_round_counters(stats);
+
+      if (!applied) {
+        server.skip_round();
+        ++report.dropped_rounds;
+        ++stats.quorum_missed;
+        reg.counter("fl.round.quorum_missed_total").add(1);
+      } else {
+        const bool eval_now = (options_.eval_every > 0 &&
+                               (t + 1) % options_.eval_every == 0) ||
+                              t + 1 == d.rounds;
+        if (eval_now) {
+          telemetry::SpanTimer eval_span(reg, "fl.phase",
+                                         {{"phase", "eval"}}, t);
+          model->set_weights(server.weights());
+          const double acc =
+              nn::evaluate_accuracy(*model, val.features(), val.labels());
+          reg.record_point("fl.round.accuracy", t, acc);
+          FEDCL_LOG(Info) << "fedcl_server: round " << (t + 1) << "/"
+                          << d.rounds << " acc=" << acc;
+        }
+      }
+      report.updates_accepted += round_accepted;
+      report.updates_rejected += stats.rejected_total();
+      report.failures.accumulate(stats);
+      report.round_ms.push_back(ms_since(round_start));
+    }
+
+    model->set_weights(server.weights());
+    report.final_weights = tensor::list::clone(server.weights());
+  } else {
+    // ============ asynchronous (overlapping rounds) engine ==========
+    fl::AsyncAggregatorConfig async_cfg = options_.async;
+    if (async_cfg.min_to_apply <= 0) {
+      async_cfg.min_to_apply =
+          std::max<std::int64_t>(1, d.clients_per_round / 2);
+    }
+    async_cfg.screening = options_.screening;
+    fl::AsyncAggregator agg(model->weights(), async_cfg, *policy, groups,
+                            root.fork("async-aggregate"));
+
+    // Processes one received frame for worker `w`. Returns false when
+    // the worker was killed (caller stops reading it).
+    auto process_frame = [&](WorkerSlot& w, Frame frame, std::int64_t now,
+                             fl::RoundFailureStats& stats,
+                             std::int64_t& accepted,
+                             std::int64_t& rejected) -> bool {
+      auto fail = [&](const char* reason, const char* why) {
+        reject_frame(reason);
+        expire_crash(stats, w.outstanding_clients());
+        w.outstanding.clear();
+        kill_worker(w, why);
+        return false;
+      };
+      reg.counter("fl.net.frames_received_total").add(1);
+      std::int64_t client_id = -1;
+      std::optional<UpdateMsg> update_msg;
+      if (frame.type == MsgType::kUpdate) {
+        Result<UpdateMsg> decoded = decode_update(frame.payload);
+        if (!decoded.ok()) return fail("bad-payload", "protocol violation");
+        update_msg = decoded.take();
+        client_id = update_msg->client_id;
+      } else if (frame.type == MsgType::kTrainError) {
+        Result<TrainErrorMsg> err = decode_train_error(frame.payload);
+        if (!err.ok()) return fail("bad-payload", "protocol violation");
+        client_id = err.value().client_id;
+      } else {
+        return fail("unexpected-type", "protocol violation");
+      }
+      // Workers answer their requests in order, so the client is in
+      // the oldest outstanding entries first.
+      bool matched = false;
+      for (auto it = w.outstanding.begin(); it != w.outstanding.end();
+           ++it) {
+        if (it->remaining.erase(client_id) > 0) {
+          matched = true;
+          if (it->remaining.empty()) w.outstanding.erase(it);
+          break;
+        }
+      }
+      if (!matched) return fail("bad-payload", "protocol violation");
+      if (!update_msg.has_value()) {
+        expire_crash(stats, 1);  // TrainError: this client never reports
+        return true;
+      }
+      const double weight = options_.weight_by_data_size
+                                ? static_cast<double>(update_msg->data_size)
+                                : 1.0;
+      std::optional<fl::ClientUpdate> update =
+          open_update(std::move(*update_msg), stats);
+      if (!update.has_value()) {
+        ++rejected;
+        return true;
+      }
+      fl::AsyncAggregator::OfferResult res =
+          agg.offer(std::move(*update), now, weight);
+      if (res.accepted) {
+        ++accepted;
+        if (res.staleness > 0) {
+          // A late arrival is a straggler fault absorbed via the
+          // staleness decay — injected and resolved in one step, so
+          // the disposition bijection still balances.
+          ++stats.injected_straggler;
+          ++stats.fault_accepted_stale;
+        }
+      } else {
+        ++rejected;
+        if (res.reject.has_value()) {
+          switch (*res.reject) {
+            case fl::RejectReason::kShapeMismatch:
+              ++stats.rejected_shape;
+              break;
+            case fl::RejectReason::kNonFinite:
+              ++stats.rejected_non_finite;
+              break;
+            case fl::RejectReason::kNormOutlier:
+              ++stats.rejected_norm_outlier;
+              break;
+            case fl::RejectReason::kStaleRound:
+              ++stats.rejected_stale;
+              break;
+          }
+        }
+      }
+      return true;
+    };
+
+    auto drain_worker = [&](WorkerSlot& w, std::int64_t now,
+                            fl::RoundFailureStats& stats,
+                            std::int64_t& accepted, std::int64_t& rejected) {
+      while (w.alive && !w.outstanding.empty() && w.conn.readable(0)) {
+        Frame frame;
+        const FrameStatus st = read_frame(
+            w.conn, frame, options_.max_frame_bytes, options_.io_timeout_ms);
+        if (st != FrameStatus::kOk) {
+          reject_frame(frame_status_name(st));
+          expire_crash(stats, w.outstanding_clients());
+          w.outstanding.clear();
+          kill_worker(w, st == FrameStatus::kTimeout ? "timeout"
+                                                     : "disconnect");
+          return;
+        }
+        if (!process_frame(w, std::move(frame), now, stats, accepted,
+                           rejected)) {
+          return;
+        }
+      }
+    };
+
+    for (std::int64_t t = 0; t < d.rounds; ++t) {
+      const Clock::time_point round_start = Clock::now();
+      telemetry::SpanTimer round_span(reg, "fl.round", {}, t);
+      fl::RoundFailureStats stats;
+      const std::int64_t applies_before = agg.applies();
+      std::int64_t round_accepted = 0;
+      std::int64_t round_rejected = 0;
+
+      // Phase 0: fold in whatever already arrived (late updates from
+      // earlier rounds enter staleness-weighted).
+      for (WorkerSlot& w : workers) {
+        drain_worker(w, t, stats, round_accepted, round_rejected);
+      }
+      // Expire dispatches past the staleness horizon: even if the
+      // update arrived now, screening would reject it.
+      for (WorkerSlot& w : workers) {
+        while (!w.outstanding.empty() &&
+               w.outstanding.front().round + async_cfg.max_staleness < t) {
+          expire_straggler(stats, w.outstanding.front().remaining.size());
+          w.outstanding.pop_front();
+        }
+      }
+
+      // Phase 1: sample and dispatch, with backpressure — a worker
+      // already `max_inflight_rounds` behind gets nothing new; its
+      // cohort slots expire as stragglers rather than queueing without
+      // bound.
+      Rng sample_rng =
+          round_rng.fork("sample", static_cast<std::uint64_t>(t));
+      const std::vector<std::size_t> chosen =
+          sample_rng.sample_without_replacement(
+              static_cast<std::size_t>(d.total_clients),
+              static_cast<std::size_t>(d.clients_per_round));
+      std::vector<std::vector<std::int64_t>> ids_per_worker(workers.size());
+      for (std::size_t ci : chosen) {
+        ids_per_worker[ci % workers.size()].push_back(
+            static_cast<std::int64_t>(ci));
+      }
+      const std::vector<std::uint8_t> weights_blob =
+          fl::serialize_tensor_list(agg.weights_snapshot());
+      for (std::size_t w = 0; w < workers.size(); ++w) {
+        if (ids_per_worker[w].empty()) continue;
+        if (!workers[w].alive) {
+          expire_crash(stats, ids_per_worker[w].size());
+          continue;
+        }
+        if (static_cast<int>(workers[w].outstanding.size()) >=
+            options_.max_inflight_rounds) {
+          reg.counter("fl.net.backpressure_withheld_total")
+              .add(static_cast<std::int64_t>(ids_per_worker[w].size()));
+          expire_straggler(stats, ids_per_worker[w].size());
+          continue;
+        }
+        TrainRequestMsg req;
+        req.round = t;
+        req.client_ids = ids_per_worker[w];
+        req.weights_blob = weights_blob;
+        if (!write_frame(workers[w].conn, MsgType::kTrainRequest,
+                         encode_train_request(req))) {
+          expire_crash(stats, ids_per_worker[w].size() +
+                                  workers[w].outstanding_clients());
+          workers[w].outstanding.clear();
+          kill_worker(workers[w], "send failed");
+          continue;
+        }
+        reg.counter("fl.net.frames_sent_total").add(1);
+        WorkerSlot::Outstanding o;
+        o.round = t;
+        o.remaining.insert(ids_per_worker[w].begin(),
+                           ids_per_worker[w].end());
+        workers[w].outstanding.push_back(std::move(o));
+      }
+
+      // Phase 2: collection window. Wait (bounded) for this round's
+      // own updates; whatever misses the window stays outstanding and
+      // arrives stale in a later round.
+      const Clock::time_point window_start = Clock::now();
+      for (;;) {
+        bool this_round_pending = false;
+        for (const WorkerSlot& w : workers) {
+          for (const auto& o : w.outstanding) {
+            if (o.round == t && !o.remaining.empty()) {
+              this_round_pending = true;
+              break;
+            }
+          }
+          if (this_round_pending) break;
+        }
+        if (!this_round_pending) break;
+        if (ms_since(window_start) >= options_.async_round_wait_ms) break;
+        bool any_read = false;
+        for (WorkerSlot& w : workers) {
+          if (!w.alive || w.outstanding.empty()) continue;
+          if (w.conn.readable(10)) {
+            any_read = true;
+            drain_worker(w, t, stats, round_accepted, round_rejected);
+          }
+        }
+        if (!any_read) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+
+      // End of round: a round that never tripped the threshold folds
+      // its partial buffer in — the reduced-quorum tier.
+      bool applied = agg.applies() > applies_before;
+      if (!applied && agg.buffered() > 0) {
+        const double widening = static_cast<double>(agg.min_to_apply()) /
+                                static_cast<double>(agg.buffered());
+        agg.flush();
+        applied = true;
+        ++stats.reduced_quorum_rounds;
+        ++report.reduced_quorum_rounds;
+        reg.counter("fl.round.degraded_total",
+                    {{"tier", fl::degradation_tier_name(
+                                  fl::DegradationTier::kReducedQuorum)}})
+            .add(1);
+        reg.record_point("fl.round.noise_widening", t, widening);
+      }
+
+      reg.record_point("fl.round.accepted", t,
+                       static_cast<double>(round_accepted));
+      reg.record_point("fl.round.rejected", t,
+                       static_cast<double>(round_rejected));
+      record_round_counters(stats);
+
+      if (!applied) {
+        ++report.dropped_rounds;
+        ++stats.quorum_missed;
+        reg.counter("fl.round.quorum_missed_total").add(1);
+      } else {
+        const bool eval_now = (options_.eval_every > 0 &&
+                               (t + 1) % options_.eval_every == 0) ||
+                              t + 1 == d.rounds;
+        if (eval_now) {
+          telemetry::SpanTimer eval_span(reg, "fl.phase",
+                                         {{"phase", "eval"}}, t);
+          model->set_weights(agg.weights_snapshot());
+          const double acc =
+              nn::evaluate_accuracy(*model, val.features(), val.labels());
+          reg.record_point("fl.round.accuracy", t, acc);
+          FEDCL_LOG(Info) << "fedcl_server: async round " << (t + 1) << "/"
+                          << d.rounds << " acc=" << acc;
+        }
+      }
+      report.updates_accepted += round_accepted;
+      report.updates_rejected += round_rejected;
+      report.failures.accumulate(stats);
+      report.round_ms.push_back(ms_since(round_start));
+    }
+
+    // End of run: one final grace window for stragglers, then expire
+    // the rest and drain the buffer.
+    fl::RoundFailureStats drain_stats;
+    std::int64_t drain_accepted = 0, drain_rejected = 0;
+    const Clock::time_point drain_start = Clock::now();
+    for (;;) {
+      bool any_outstanding = false;
+      for (WorkerSlot& w : workers) {
+        if (w.alive && !w.outstanding.empty()) any_outstanding = true;
+      }
+      if (!any_outstanding ||
+          ms_since(drain_start) >= options_.async_round_wait_ms) {
+        break;
+      }
+      for (WorkerSlot& w : workers) {
+        if (w.alive && !w.outstanding.empty() && w.conn.readable(10)) {
+          drain_worker(w, d.rounds - 1, drain_stats, drain_accepted,
+                       drain_rejected);
+        }
+      }
+    }
+    for (WorkerSlot& w : workers) {
+      for (const auto& o : w.outstanding) {
+        expire_straggler(drain_stats, o.remaining.size());
+      }
+      w.outstanding.clear();
+    }
+    record_round_counters(drain_stats);
+    report.failures.accumulate(drain_stats);
+    report.updates_accepted += drain_accepted;
+    report.updates_rejected += drain_rejected;
+    agg.flush();
+    report.async_applies = agg.applies();
+    report.final_weights = agg.weights_snapshot();
+    model->set_weights(report.final_weights);
+  }
+
+  report.completed_rounds = d.rounds - report.dropped_rounds;
+  report.final_accuracy =
+      nn::evaluate_accuracy(*model, val.features(), val.labels());
+  reg.gauge("fl.net.run_duration_ms").set(ms_since(run_start));
+  report.ok = true;
+  return finish(std::move(report));
+}
+
+}  // namespace fedcl::net

@@ -1,0 +1,129 @@
+// Multi-process federated serving: the server half.
+//
+// ServingServer is the socket-facing sibling of fl::run_experiment. It
+// binds a loopback TCP port, admits exactly `num_workers` fedcl_client
+// processes (everyone else gets Busy — that refusal is the admission
+// control the load-gen bench hammers), ships each the resolved
+// ExperimentDescriptor, and then drives the same round engine the
+// in-process trainer runs — with the train phase replaced by
+// TrainRequest/Update frames over real connections.
+//
+// Determinism contract (docs/PROTOCOL.md §5): in the synchronous
+// engine, with no faults, every RNG stream the round consumes
+// (sampling, client training, aggregation noise) is forked by label
+// from the shared seed, updates are re-assembled in cohort order
+// before aggregation, and weights travel as exact f32 bytes — so the
+// final model state is BITWISE identical to fl::run_experiment at the
+// same seed and configuration. The asynchronous engine instead offers
+// arriving updates straight into the streaming AsyncAggregator,
+// tolerates workers running rounds behind (staleness decay), and
+// withholds dispatches from workers more than `max_inflight_rounds`
+// behind — backpressure for overlapping rounds; its fold order follows
+// real arrival order, so it trades the bitwise guarantee for overlap,
+// exactly the determinism boundary DESIGN.md §5 states for the
+// in-process async engine across thread counts.
+//
+// Real network events reuse the fault-disposition ledger: a recv
+// deadline miss is an injected straggler that expired, a disconnect an
+// injected crash that expired, a malformed frame or unopenable payload
+// a decode rejection — so chaos-soak invariants and telemetry carry
+// over unchanged (docs/PROTOCOL.md §6).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "fl/async_aggregator.h"
+#include "fl/fault_injection.h"
+#include "fl/update_screening.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace fedcl::net {
+
+struct ServingOptions {
+  int port = 0;         // 0 = ephemeral (resolved via port())
+  int num_workers = 2;  // admitted connections; the rest get Busy
+  // Deadline for the full worker roster to connect and handshake.
+  int accept_timeout_ms = 30000;
+  // Per-frame receive deadline within a round; a worker that misses it
+  // is a straggler (sync: fail-stop; async: staleness budget applies).
+  int io_timeout_ms = 20000;
+  std::size_t max_frame_bytes = kDefaultMaxPayload;
+
+  // Server-side experiment knobs not part of the wire descriptor
+  // (they do not affect what workers compute).
+  std::int64_t eval_every = 0;  // <= 0: final round only
+  std::int64_t min_reporting = 1;
+  std::int64_t reduced_min_reporting = 0;
+  double server_momentum = 0.0;
+  bool weight_by_data_size = false;
+  fl::ScreeningConfig screening;
+
+  // Asynchronous engine (overlapping rounds).
+  bool async_mode = false;
+  fl::AsyncAggregatorConfig async;
+  // Backpressure window: a worker with this many rounds outstanding is
+  // not dispatched to; its cohort slots expire as stragglers.
+  int max_inflight_rounds = 2;
+  // How long one async round waits for its own updates before moving
+  // on and letting them arrive stale.
+  int async_round_wait_ms = 5000;
+};
+
+struct ServingReport {
+  bool ok = false;
+  std::string error;  // set when !ok
+
+  double final_accuracy = 0.0;
+  tensor::list::TensorList final_weights;
+  std::int64_t rounds = 0;
+  std::int64_t completed_rounds = 0;
+  std::int64_t dropped_rounds = 0;
+  std::int64_t reduced_quorum_rounds = 0;
+  std::int64_t async_applies = 0;
+  std::int64_t updates_accepted = 0;
+  std::int64_t updates_rejected = 0;
+  // Aggregated fault-disposition ledger (network events mapped onto
+  // the same taxonomy the in-process engines use).
+  fl::RoundFailureStats failures;
+  // Admission control: connections refused with Busy (roster full,
+  // bad handshake) and frames dropped for framing violations.
+  std::int64_t busy_rejected = 0;
+  std::int64_t frames_rejected = 0;
+  // Per-round wall-clock, for the bench's p99.
+  std::vector<double> round_ms;
+};
+
+class ServingServer {
+ public:
+  // Validates the descriptor and binds the listener. Fails (never
+  // throws) on an invalid descriptor or an unbindable port.
+  static Result<std::unique_ptr<ServingServer>> create(
+      ExperimentDescriptor descriptor, ServingOptions options);
+
+  ~ServingServer();
+  ServingServer(const ServingServer&) = delete;
+  ServingServer& operator=(const ServingServer&) = delete;
+
+  int port() const { return listener_.port(); }
+  const ExperimentDescriptor& descriptor() const { return descriptor_; }
+
+  // Blocks until the run completes (or fails to start). Admission of
+  // surplus connections keeps running for the whole call.
+  ServingReport run();
+
+ private:
+  ServingServer(ExperimentDescriptor descriptor, ServingOptions options,
+                TcpListener listener);
+
+  ExperimentDescriptor descriptor_;
+  ServingOptions options_;
+  TcpListener listener_;
+};
+
+}  // namespace fedcl::net

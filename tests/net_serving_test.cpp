@@ -1,0 +1,374 @@
+// The multi-process serving path over real loopback sockets: frame
+// layer robustness (bad magic/version/type, oversized, truncated —
+// never a crash), wire-codec round-trips and truncation fuzz, the
+// admission surface under malformed connections, and the headline
+// contract — an end-to-end run over TCP is BITWISE identical to
+// fl::run_experiment at the same seed (docs/PROTOCOL.md §5). The
+// adversarial cases run under ASan/UBSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "data/benchmarks.h"
+#include "fl/protocol.h"
+#include "fl/trainer.h"
+#include "net/client_worker.h"
+#include "net/frame.h"
+#include "net/serving_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace fedcl::net {
+namespace {
+
+// A connected loopback socket pair: `client` dialed `server`.
+struct SocketPair {
+  TcpConn client;
+  TcpConn server;
+};
+
+SocketPair make_pair() {
+  Result<TcpListener> listener = TcpListener::bind(0);
+  EXPECT_TRUE(listener.ok()) << listener.error();
+  Result<TcpConn> client =
+      TcpConn::connect("127.0.0.1", listener.value().port(), 2000);
+  EXPECT_TRUE(client.ok()) << client.error();
+  TcpConn server = listener.value().accept(2000);
+  EXPECT_TRUE(server.valid());
+  return {client.take(), std::move(server)};
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+// A syntactically valid frame header with every field controllable.
+std::vector<std::uint8_t> raw_header(std::uint32_t magic, std::uint8_t version,
+                                     std::uint8_t type,
+                                     std::uint32_t payload_len) {
+  std::vector<std::uint8_t> h(kFrameHeaderBytes, 0);
+  put_u32(h.data(), magic);
+  h[4] = version;
+  h[5] = type;
+  put_u32(h.data() + 8, payload_len);
+  return h;
+}
+
+TEST(NetFrame, RoundTripOverLoopback) {
+  SocketPair pair = make_pair();
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(write_frame(pair.client, MsgType::kUpdate, payload));
+  Frame frame;
+  ASSERT_EQ(read_frame(pair.server, frame), FrameStatus::kOk);
+  EXPECT_EQ(frame.type, MsgType::kUpdate);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(NetFrame, EmptyPayloadRoundTrips) {
+  SocketPair pair = make_pair();
+  ASSERT_TRUE(write_frame(pair.client, MsgType::kBye, nullptr, 0));
+  Frame frame;
+  ASSERT_EQ(read_frame(pair.server, frame), FrameStatus::kOk);
+  EXPECT_EQ(frame.type, MsgType::kBye);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(NetFrame, RejectsBadMagic) {
+  SocketPair pair = make_pair();
+  const auto h = raw_header(0xdeadbeef, kProtocolVersion,
+                            static_cast<std::uint8_t>(MsgType::kHello), 0);
+  ASSERT_TRUE(pair.client.send_all(h.data(), h.size()));
+  Frame frame;
+  EXPECT_EQ(read_frame(pair.server, frame), FrameStatus::kBadMagic);
+}
+
+TEST(NetFrame, RejectsBadVersion) {
+  SocketPair pair = make_pair();
+  const auto h = raw_header(kFrameMagic, kProtocolVersion + 1,
+                            static_cast<std::uint8_t>(MsgType::kHello), 0);
+  ASSERT_TRUE(pair.client.send_all(h.data(), h.size()));
+  Frame frame;
+  EXPECT_EQ(read_frame(pair.server, frame), FrameStatus::kBadVersion);
+}
+
+TEST(NetFrame, RejectsBadType) {
+  SocketPair pair = make_pair();
+  const auto h = raw_header(kFrameMagic, kProtocolVersion, 99, 0);
+  ASSERT_TRUE(pair.client.send_all(h.data(), h.size()));
+  Frame frame;
+  EXPECT_EQ(read_frame(pair.server, frame), FrameStatus::kBadType);
+}
+
+TEST(NetFrame, RejectsOversizedBeforeAllocating) {
+  SocketPair pair = make_pair();
+  const auto h =
+      raw_header(kFrameMagic, kProtocolVersion,
+                 static_cast<std::uint8_t>(MsgType::kUpdate), 0xffffffffu);
+  ASSERT_TRUE(pair.client.send_all(h.data(), h.size()));
+  Frame frame;
+  // A 4 GiB claim must be refused from the 12 header bytes alone.
+  EXPECT_EQ(read_frame(pair.server, frame, 1024, 2000),
+            FrameStatus::kOversized);
+}
+
+TEST(NetFrame, TruncatedPayloadReportsClosed) {
+  SocketPair pair = make_pair();
+  auto h = raw_header(kFrameMagic, kProtocolVersion,
+                      static_cast<std::uint8_t>(MsgType::kUpdate), 100);
+  h.push_back(42);  // 1 of the promised 100 payload bytes
+  ASSERT_TRUE(pair.client.send_all(h.data(), h.size()));
+  pair.client.close();
+  Frame frame;
+  EXPECT_EQ(read_frame(pair.server, frame), FrameStatus::kClosed);
+}
+
+TEST(NetFrame, StalledPayloadTimesOut) {
+  SocketPair pair = make_pair();
+  const auto h = raw_header(kFrameMagic, kProtocolVersion,
+                            static_cast<std::uint8_t>(MsgType::kUpdate), 100);
+  ASSERT_TRUE(pair.client.send_all(h.data(), h.size()));
+  Frame frame;
+  EXPECT_EQ(read_frame(pair.server, frame, kDefaultMaxPayload, 100),
+            FrameStatus::kTimeout);
+}
+
+TEST(NetWire, HelloRoundTripAndRangeCheck) {
+  HelloMsg msg;
+  msg.worker_index = 3;
+  msg.num_workers = 8;
+  Result<HelloMsg> back = decode_hello(encode_hello(msg));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().worker_index, 3u);
+  EXPECT_EQ(back.value().num_workers, 8u);
+
+  msg.worker_index = 8;  // == num_workers: out of range
+  EXPECT_FALSE(decode_hello(encode_hello(msg)).ok());
+}
+
+ExperimentDescriptor sample_descriptor() {
+  ExperimentDescriptor d;
+  d.bench_id = static_cast<std::uint8_t>(data::BenchmarkId::kCancer);
+  d.scale = static_cast<std::uint8_t>(BenchScale::kSmoke);
+  d.policy = PolicyId::kFedCdp;
+  d.total_clients = 4;
+  d.clients_per_round = 2;
+  d.rounds = 3;
+  d.local_iterations = 2;
+  d.prune_ratio = 0.5;
+  d.clip = 4.0;
+  d.sigma = 0.25;
+  d.seed = 1234;
+  return d;
+}
+
+TEST(NetWire, DescriptorRoundTrip) {
+  const ExperimentDescriptor d = sample_descriptor();
+  Result<ExperimentDescriptor> back = decode_descriptor(encode_descriptor(d));
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().bench_id, d.bench_id);
+  EXPECT_EQ(back.value().policy, d.policy);
+  EXPECT_EQ(back.value().total_clients, d.total_clients);
+  EXPECT_EQ(back.value().rounds, d.rounds);
+  EXPECT_EQ(back.value().sigma, d.sigma);
+  EXPECT_EQ(back.value().seed, d.seed);
+}
+
+TEST(NetWire, DescriptorTruncationFuzz) {
+  const auto bytes = encode_descriptor(sample_descriptor());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(len));
+    EXPECT_FALSE(decode_descriptor(prefix).ok())
+        << "prefix of length " << len << " was accepted";
+  }
+}
+
+TEST(NetWire, TrainRequestRoundTripAndFuzz) {
+  TrainRequestMsg msg;
+  msg.round = 7;
+  msg.client_ids = {0, 3, 9};
+  msg.weights_blob = {10, 20, 30, 40};
+  const auto bytes = encode_train_request(msg);
+  Result<TrainRequestMsg> back = decode_train_request(bytes);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().round, 7);
+  EXPECT_EQ(back.value().client_ids, msg.client_ids);
+  EXPECT_EQ(back.value().weights_blob, msg.weights_blob);
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(len));
+    EXPECT_FALSE(decode_train_request(prefix).ok());
+  }
+}
+
+TEST(NetWire, UpdateAndTrainErrorRoundTrip) {
+  UpdateMsg u;
+  u.client_id = 11;
+  u.data_size = 128;
+  u.sealed = {9, 8, 7};
+  Result<UpdateMsg> u2 = decode_update(encode_update(u));
+  ASSERT_TRUE(u2.ok());
+  EXPECT_EQ(u2.value().client_id, 11);
+  EXPECT_EQ(u2.value().data_size, 128);
+  EXPECT_EQ(u2.value().sealed, u.sealed);
+
+  TrainErrorMsg e;
+  e.client_id = 5;
+  e.message = "client not hosted here";
+  Result<TrainErrorMsg> e2 = decode_train_error(encode_train_error(e));
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(e2.value().client_id, 5);
+  EXPECT_EQ(e2.value().message, e.message);
+}
+
+TEST(NetWire, PolicyVocabularyRefusesOrderDependent) {
+  EXPECT_TRUE(parse_policy_id("non-private").ok());
+  EXPECT_TRUE(parse_policy_id("fed-sdp").ok());
+  EXPECT_TRUE(parse_policy_id("fed-cdp").ok());
+  EXPECT_TRUE(parse_policy_id("fed-cdp-decay").ok());
+  // Order-dependent policies cannot be replicated across workers.
+  EXPECT_FALSE(parse_policy_id("fed-cdp-median").ok());
+  EXPECT_FALSE(parse_policy_id("dssgd").ok());
+  EXPECT_FALSE(parse_policy_id("no-such-policy").ok());
+}
+
+TEST(NetWire, ChannelKeyIsPerClientAndDeterministic) {
+  EXPECT_EQ(fl::client_channel_key(42, 0), fl::client_channel_key(42, 0));
+  EXPECT_NE(fl::client_channel_key(42, 0), fl::client_channel_key(42, 1));
+  EXPECT_NE(fl::client_channel_key(42, 0), fl::client_channel_key(43, 0));
+}
+
+// ---- live-server tests -------------------------------------------------
+
+// Runs `server` plus `num_workers` in-process worker threads over real
+// loopback TCP and returns the server's report.
+ServingReport run_with_workers(ServingServer& server, int num_workers) {
+  ServingReport report;
+  std::thread server_thread([&] { report = server.run(); });
+  std::vector<std::thread> workers;
+  for (int w = 0; w < num_workers; ++w) {
+    workers.emplace_back([&server, w, num_workers] {
+      WorkerConfig config;
+      config.port = server.port();
+      config.worker_index = w;
+      config.num_workers = num_workers;
+      run_worker(config);
+    });
+  }
+  server_thread.join();
+  for (std::thread& t : workers) t.join();
+  return report;
+}
+
+TEST(NetServing, RosterTimeoutFailsCleanly) {
+  ServingOptions options;
+  options.num_workers = 1;
+  options.accept_timeout_ms = 150;
+  Result<std::unique_ptr<ServingServer>> server =
+      ServingServer::create(sample_descriptor(), options);
+  ASSERT_TRUE(server.ok()) << server.error();
+  ServingReport report = server.value()->run();
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("roster incomplete"), std::string::npos)
+      << report.error;
+}
+
+TEST(NetServing, EndToEndBitwiseParityWithInProcessEngine) {
+  const ExperimentDescriptor d = sample_descriptor();
+  ServingOptions options;
+  options.num_workers = 2;
+  Result<std::unique_ptr<ServingServer>> server =
+      ServingServer::create(d, options);
+  ASSERT_TRUE(server.ok()) << server.error();
+  ServingReport report = run_with_workers(*server.value(), 2);
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.completed_rounds, d.rounds);
+  EXPECT_EQ(report.updates_accepted, d.rounds * d.clients_per_round);
+  EXPECT_EQ(report.dropped_rounds, 0);
+
+  fl::FlExperimentConfig cfg;
+  cfg.bench = data::benchmark_config(data::BenchmarkId::kCancer,
+                                     BenchScale::kSmoke);
+  cfg.total_clients = d.total_clients;
+  cfg.clients_per_round = d.clients_per_round;
+  cfg.rounds = d.rounds;
+  cfg.local_iterations = d.local_iterations;
+  cfg.prune_ratio = d.prune_ratio;
+  cfg.seed = d.seed;
+  cfg.noise_scale = d.sigma;
+  std::unique_ptr<core::PrivacyPolicy> policy = make_policy(d);
+  fl::FlRunResult in_process = fl::run_experiment(cfg, *policy);
+
+  EXPECT_EQ(fl::serialize_tensor_list(report.final_weights),
+            fl::serialize_tensor_list(in_process.final_weights))
+      << "socket path diverged from the in-process sync engine";
+}
+
+TEST(NetServing, SurvivesMalformedAndSurplusConnections) {
+  const ExperimentDescriptor d = sample_descriptor();
+  ServingOptions options;
+  options.num_workers = 2;
+  Result<std::unique_ptr<ServingServer>> server =
+      ServingServer::create(d, options);
+  ASSERT_TRUE(server.ok()) << server.error();
+  const int port = server.value()->port();
+
+  // Adversarial traffic runs for the whole round loop, racing the real
+  // workers: raw garbage, an oversized claim, a shape-mismatched
+  // Hello (refused Busy), and a connect-then-slam.
+  std::atomic<bool> stop{false};
+  std::thread chaos([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Result<TcpConn> conn = TcpConn::connect("127.0.0.1", port, 500);
+      if (!conn.ok()) continue;
+      switch (i++ % 4) {
+        case 0: {
+          const std::uint8_t garbage[8] = {0xff, 0xee, 0xdd};
+          conn.value().send_all(garbage, sizeof(garbage));
+          break;
+        }
+        case 1: {
+          const auto h = raw_header(
+              kFrameMagic, kProtocolVersion,
+              static_cast<std::uint8_t>(MsgType::kHello), 0xfffffff0u);
+          conn.value().send_all(h.data(), h.size());
+          break;
+        }
+        case 2: {
+          HelloMsg hello;
+          hello.worker_index = 0;
+          hello.num_workers = 5;  // server expects 2: refused Busy
+          write_frame(conn.value(), MsgType::kHello, encode_hello(hello));
+          Frame reply;
+          read_frame(conn.value(), reply, kDefaultMaxPayload, 1000);
+          break;
+        }
+        case 3:
+          break;  // connect and immediately slam the connection
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  ServingReport report = run_with_workers(*server.value(), 2);
+  stop.store(true, std::memory_order_relaxed);
+  chaos.join();
+
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.completed_rounds, d.rounds);
+  EXPECT_EQ(report.updates_accepted, d.rounds * d.clients_per_round);
+  // The adversarial connections were screened, not crashed on.
+  EXPECT_GT(report.busy_rejected + report.frames_rejected, 0);
+}
+
+}  // namespace
+}  // namespace fedcl::net

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Documentation lint (stdlib only) — keeps the docs honest in CI.
+
+Three checks:
+
+1. Relative links: every markdown link or image that points at a file
+   (not http/https/mailto/#anchor) must resolve from the linking
+   file's directory.
+
+2. Flag drift: a markdown section whose heading names one of the
+   binaries passed via --help-bin only gets to mention `--flags` that
+   binary actually accepts (compared against its live --help output).
+   Fenced command examples whose argv[0] is a checked binary are held
+   to the same rule, with backslash line-continuations joined.
+
+3. Metric-name drift: every name in the `x-metric-names` inventory of
+   docs/telemetry.schema.json must be documented in docs/METRICS.md,
+   and every dotted metric name METRICS.md documents must be in the
+   inventory (the `.duration_ms` view of a span is implied by the
+   span's entry).
+
+Usage:
+  check_docs.py --repo /path/to/repo \
+      --help-bin fl_simulator=/path/to/fl_simulator \
+      --help-bin fedcl_server=/path/to/fedcl_server
+"""
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"--[A-Za-z][A-Za-z0-9-]*")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+METRIC_NAME_RE = re.compile(r"`((?:fl|dp|attack)\.[a-z0-9_.]+)`")
+SKIP_DIRS = {".git", "third_party", "related"}
+
+# Flags that appear in prose as generic placeholders, not as claims
+# about a specific binary's interface.
+FLAG_ALLOWLIST = {"--help"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_links(root, errors):
+    for path in md_files(root):
+        rel = os.path.relpath(path, root)
+        in_fence = False
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if line.lstrip().startswith("```"):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                for target in LINK_RE.findall(line):
+                    if target.startswith(("http://", "https://", "mailto:",
+                                          "#")):
+                        continue
+                    target = target.split("#", 1)[0]
+                    if not target:
+                        continue
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(path), target))
+                    # Paths escaping the repo (e.g. GitHub badge URLs
+                    # relative to the hosting site) are not checkable.
+                    if not resolved.startswith(root + os.sep):
+                        continue
+                    if not os.path.exists(resolved):
+                        errors.append("%s:%d: broken link '%s'"
+                                      % (rel, lineno, target))
+
+
+def help_flags(binary):
+    out = subprocess.run([binary, "--help"], stdout=subprocess.PIPE,
+                         stderr=subprocess.STDOUT, text=True, timeout=30)
+    if out.returncode != 0:
+        raise RuntimeError("%s --help exited with %d"
+                           % (binary, out.returncode))
+    return set(FLAG_RE.findall(out.stdout))
+
+
+def check_section_flags(root, binaries, errors):
+    """Flags mentioned in a section headed by a binary's name."""
+    for path in md_files(root):
+        rel = os.path.relpath(path, root)
+        current = None  # (binary name, known flag set)
+        in_fence = False
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if line.lstrip().startswith("```"):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue  # command examples are checked by argv[0]
+                heading = HEADING_RE.match(line)
+                if heading:
+                    current = None
+                    for name, flags in binaries.items():
+                        if name in heading.group(1):
+                            current = (name, flags)
+                    continue
+                if current is None:
+                    continue
+                name, flags = current
+                for flag in FLAG_RE.findall(line):
+                    if flag not in flags and flag not in FLAG_ALLOWLIST:
+                        errors.append(
+                            "%s:%d: section for '%s' mentions %s which is "
+                            "not in its --help" % (rel, lineno, name, flag))
+
+
+def check_command_flags(root, binaries, errors):
+    """Fenced command examples invoking a checked binary."""
+    for path in md_files(root):
+        rel = os.path.relpath(path, root)
+        in_fence = False
+        pending = ""
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if line.lstrip().startswith("```"):
+                    in_fence = not in_fence
+                    pending = ""
+                    continue
+                if not in_fence:
+                    continue
+                command = pending + line.strip()
+                if command.endswith("\\"):
+                    pending = command[:-1] + " "
+                    continue
+                pending = ""
+                tokens = command.split()
+                if not tokens:
+                    continue
+                target = os.path.basename(tokens[0])
+                if target not in binaries:
+                    continue
+                for flag in FLAG_RE.findall(command):
+                    if (flag.split("=", 1)[0] not in binaries[target]
+                            and flag not in FLAG_ALLOWLIST):
+                        errors.append(
+                            "%s:%d: example invokes '%s' with %s which is "
+                            "not in its --help" % (rel, lineno, target, flag))
+
+
+def check_metric_names(root, errors):
+    schema_path = os.path.join(root, "docs", "telemetry.schema.json")
+    metrics_path = os.path.join(root, "docs", "METRICS.md")
+    with open(schema_path, encoding="utf-8") as f:
+        inventory = set(json.load(f)["x-metric-names"])
+    with open(metrics_path, encoding="utf-8") as f:
+        metrics_md = f.read()
+    documented = set(METRIC_NAME_RE.findall(metrics_md))
+    for name in sorted(inventory):
+        base = name[:-len(".duration_ms")] \
+            if name.endswith(".duration_ms") else name
+        if name not in documented and base not in documented:
+            errors.append("docs/METRICS.md: schema metric '%s' is "
+                          "undocumented" % name)
+    for name in sorted(documented):
+        base = name[:-len(".duration_ms")] \
+            if name.endswith(".duration_ms") else name
+        if name not in inventory and base not in inventory:
+            errors.append("docs/telemetry.schema.json: documented metric "
+                          "'%s' missing from x-metric-names" % name)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--repo", default=".")
+    parser.add_argument("--help-bin", action="append", default=[],
+                        metavar="NAME=PATH",
+                        help="binary whose --help anchors the flag checks")
+    args = parser.parse_args()
+    root = os.path.abspath(args.repo)
+
+    binaries = {}
+    for spec in args.help_bin:
+        name, _, path = spec.partition("=")
+        if not path:
+            parser.error("--help-bin wants NAME=PATH, got '%s'" % spec)
+        binaries[name] = help_flags(path)
+
+    errors = []
+    check_links(root, errors)
+    check_metric_names(root, errors)
+    if binaries:
+        check_section_flags(root, binaries, errors)
+        check_command_flags(root, binaries, errors)
+    for error in errors:
+        print("check_docs: %s" % error, file=sys.stderr)
+    if errors:
+        print("check_docs: %d problem(s)" % len(errors), file=sys.stderr)
+        return 1
+    print("check_docs: OK (%d markdown files)"
+          % sum(1 for _ in md_files(root)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
