@@ -17,12 +17,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/error.h"
+#include "common/telemetry.h"
 #include "fl/protocol.h"
 #include "fl/trainer.h"
 #include "net/client_worker.h"
@@ -55,6 +58,22 @@ double p99_ms(std::vector<double> samples) {
 // Busy), half send raw garbage (screened by the framing layer). Both
 // count toward the connections/sec figure — the bench measures how
 // fast the server turns away load while training.
+// Collects every span event the serving run emits. Server and workers
+// share this process, so every traced parent id must resolve against
+// the collected set — the in-process mirror of the zero-orphan check
+// run_serving_demo.py makes across three real processes.
+class SpanCollector final : public telemetry::Sink {
+ public:
+  // Sink::write is called under the registry's sink lock.
+  void write(const telemetry::Event& event) override {
+    if (event.kind == telemetry::Event::Kind::kSpan) spans_.push_back(event);
+  }
+  const std::vector<telemetry::Event>& spans() const { return spans_; }
+
+ private:
+  std::vector<telemetry::Event> spans_;
+};
+
 void churn_probe(int port, int num_workers, std::atomic<bool>& done,
                  std::atomic<std::int64_t>& churned) {
   const std::uint8_t garbage[16] = {0xde, 0xad, 0xbe, 0xef};
@@ -122,6 +141,14 @@ int main(int argc, char** argv) {
   FEDCL_CHECK(server.ok()) << server.error();
   const int port = server.value()->port();
 
+  // Capture the serving run's spans for the zero-orphan trace gate.
+  // The sink must be attached before run() starts minting round traces.
+  telemetry::Registry& registry = telemetry::global_registry();
+  registry.clear_sinks();
+  auto collector_owned = std::make_unique<SpanCollector>();
+  SpanCollector* collector = collector_owned.get();
+  registry.add_sink(std::move(collector_owned));
+
   const Clock::time_point start = Clock::now();
   net::ServingReport report;
   std::thread server_thread(
@@ -147,6 +174,31 @@ int main(int argc, char** argv) {
   churn_thread.join();
   for (std::thread& t : worker_threads) t.join();
   FEDCL_CHECK(report.ok) << report.error;
+
+  // Trace accounting over the serving run only: copy the spans out,
+  // then drop the sink so the in-process yardstick below runs unsunk.
+  const std::vector<telemetry::Event> spans = collector->spans();
+  registry.clear_sinks();  // destroys the collector
+  std::unordered_set<std::uint64_t> span_ids;
+  for (const telemetry::Event& e : spans) {
+    if (e.span_id != 0) span_ids.insert(e.span_id);
+  }
+  std::int64_t traced_spans = 0;
+  std::int64_t trace_orphans = 0;
+  std::int64_t client_round_spans = 0;
+  for (const telemetry::Event& e : spans) {
+    if (e.span_id == 0) continue;
+    ++traced_spans;
+    // Workers run in-process here, so even wire-adopted (parent_remote)
+    // parents must be present in the collected set — strict count.
+    if (e.parent_span != 0 && span_ids.count(e.parent_span) == 0) {
+      ++trace_orphans;
+    }
+    if (e.name == "fl.client.round" && e.parent_remote &&
+        e.parent_span != 0) {
+      ++client_round_spans;
+    }
+  }
 
   // ---- the yardstick: the in-process sync engine, same seed ----
   fl::FlExperimentConfig cfg;
@@ -183,11 +235,20 @@ int main(int argc, char** argv) {
               static_cast<long long>(report.busy_rejected), churn_per_s,
               static_cast<long long>(report.frames_rejected));
   std::printf("round latency p99     %.2f ms (wall %.2f s)\n", p99, elapsed_s);
+  std::printf("trace spans           %lld traced, %lld orphans, "
+              "%lld wire-adopted fl.client.round\n",
+              static_cast<long long>(traced_spans),
+              static_cast<long long>(trace_orphans),
+              static_cast<long long>(client_round_spans));
 
   const std::int64_t expected_updates = d.rounds * d.clients_per_round;
   const bool gate_rounds = report.completed_rounds == d.rounds;
   const bool gate_updates = report.updates_accepted == expected_updates;
   const bool gate_churn = churned.load() > 0;
+  // Zero orphans AND at least one worker round span that adopted its
+  // parent off the wire: proves trace propagation ran, not just that
+  // nothing dangled.
+  const bool gate_trace = trace_orphans == 0 && client_round_spans > 0;
 
   json::Value doc = json::Value::object();
   doc["bench"] = std::string("bench_ext_serving");
@@ -208,12 +269,19 @@ int main(int argc, char** argv) {
   bench::add_metric(doc, "serving_churn_conn_per_s", churn_per_s, "higher",
                     "time");
   bench::add_metric(doc, "serving_p99_round_ms", p99, "lower", "time");
+  bench::add_metric(doc, "serving_trace_orphans",
+                    static_cast<double>(trace_orphans), "lower", "count");
+  bench::add_metric(doc, "serving_trace_client_rounds",
+                    static_cast<double>(client_round_spans), "higher",
+                    "count");
   if (!bench::emit_bench_json("ext_serving", std::move(doc))) return 1;
 
-  if (!gate_rounds || !parity || !gate_updates || !gate_churn) {
+  if (!gate_rounds || !parity || !gate_updates || !gate_churn ||
+      !gate_trace) {
     std::fprintf(stderr,
-                 "GATE FAILED: rounds=%d parity=%d updates=%d churn=%d\n",
-                 gate_rounds, parity, gate_updates, gate_churn);
+                 "GATE FAILED: rounds=%d parity=%d updates=%d churn=%d "
+                 "trace=%d\n",
+                 gate_rounds, parity, gate_updates, gate_churn, gate_trace);
     return 1;
   }
   std::printf("\nall gates passed\n");

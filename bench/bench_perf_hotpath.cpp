@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -368,40 +369,74 @@ int main(int argc, char** argv) {
   ocfg.eval_every = 1;
   ocfg.seed = experiment_seed();
   const core::PrivacyPolicy& opolicy = *policies.fed_cdp;
-  const int overhead_reps = std::max(2, dims.timed_rounds);
-  auto time_experiments = [&]() {
-    using Clock = std::chrono::steady_clock;
-    (void)fl::run_experiment(ocfg, opolicy);  // warmup
-    const auto start = Clock::now();
-    for (int r = 0; r < overhead_reps; ++r) {
-      (void)fl::run_experiment(ocfg, opolicy);
-    }
-    return std::chrono::duration<double, std::milli>(Clock::now() - start)
-               .count() /
-           overhead_reps;
-  };
-  telemetry::Registry& registry = telemetry::global_registry();
-  registry.clear_sinks();
-  const double telemetry_off_ms = time_experiments();
+  const int overhead_reps = std::max(4, dims.timed_rounds);
   const std::string telemetry_path = flags.get(
       "telemetry-out",
       bench::bench_out_dir() + "/BENCH_perf_hotpath_telemetry.jsonl");
-  registry.add_sink(std::make_unique<telemetry::JsonlSink>(telemetry_path));
-  const double telemetry_on_ms = time_experiments();
-  registry.flush_sinks();
+  const std::string trace_path = flags.get(
+      "trace-out", bench::bench_out_dir() + "/BENCH_perf_hotpath_trace.json");
+  // Three legs — no sink, JSONL sink, Chrome trace sink — measured
+  // INTERLEAVED (off/jsonl/trace per rep) and reduced min-of-reps.
+  // Sequential legs read background-load drift as "overhead" and a
+  // mean lets one scheduler hiccup swamp a percent-level delta; the
+  // interleaved minimum compares the legs' undisturbed runs. Sink
+  // setup/teardown stays outside the timed window, but the end-of-run
+  // flush inside run_experiment is timed — production pays it too.
+  telemetry::Registry& registry = telemetry::global_registry();
+  double leg_ms[3] = {std::numeric_limits<double>::infinity(),
+                      std::numeric_limits<double>::infinity(),
+                      std::numeric_limits<double>::infinity()};
+  double off_max_ms = 0.0;  // off-leg spread = timer trustworthiness
   registry.clear_sinks();
+  (void)fl::run_experiment(ocfg, opolicy);  // warmup
+  for (int r = 0; r < overhead_reps; ++r) {
+    for (int leg = 0; leg < 3; ++leg) {
+      registry.clear_sinks();
+      if (leg == 1) {
+        registry.add_sink(
+            std::make_unique<telemetry::JsonlSink>(telemetry_path));
+      } else if (leg == 2) {
+        registry.add_sink(std::make_unique<telemetry::ChromeTraceSink>(
+            trace_path, "bench_perf_hotpath",
+            telemetry::global_registry().wall_epoch_unix_ms()));
+      }
+      using Clock = std::chrono::steady_clock;
+      const auto start = Clock::now();
+      (void)fl::run_experiment(ocfg, opolicy);
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+      leg_ms[leg] = std::min(leg_ms[leg], ms);
+      if (leg == 0) off_max_ms = std::max(off_max_ms, ms);
+    }
+  }
+  registry.clear_sinks();
+  const double telemetry_off_ms = leg_ms[0];
+  const double telemetry_on_ms = leg_ms[1];
+  const double tracing_on_ms = leg_ms[2];
   const double overhead_pct =
       telemetry_off_ms > 0.0
           ? (telemetry_on_ms - telemetry_off_ms) / telemetry_off_ms * 100.0
           : 0.0;
+  const double tracing_overhead_pct =
+      telemetry_off_ms > 0.0
+          ? (tracing_on_ms - telemetry_off_ms) / telemetry_off_ms * 100.0
+          : 0.0;
+  const double kTracingBudgetPct = 3.0;
   std::printf(
       "\ntelemetry overhead (run_experiment, cancer K=%lld Kt=%lld "
-      "T=%lld, Fed-CDP, %d reps):\n  off %.2f ms | on (JSONL sink) "
-      "%.2f ms | overhead %+.2f%%  (JSONL: %s)\n",
+      "T=%lld, Fed-CDP, min of %d interleaved reps):\n  off %.2f ms | "
+      "on (JSONL sink) %.2f ms | overhead %+.2f%%  (JSONL: %s)\n",
       static_cast<long long>(ocfg.total_clients),
       static_cast<long long>(ocfg.clients_per_round),
       static_cast<long long>(ocfg.rounds), overhead_reps, telemetry_off_ms,
       telemetry_on_ms, overhead_pct, telemetry_path.c_str());
+  std::printf(
+      "tracing overhead (same config, Chrome trace sink):\n"
+      "  off %.2f ms | on (trace sink) %.2f ms | overhead %+.2f%% "
+      "(budget %.0f%%)  (trace: %s)\n",
+      telemetry_off_ms, tracing_on_ms, tracing_overhead_pct,
+      kTracingBudgetPct, trace_path.c_str());
 
   // Machine-readable record, printed and saved for CI artifacts.
   json::Value doc = json::Value::object();
@@ -443,6 +478,8 @@ int main(int argc, char** argv) {
   overhead["telemetry_off_ms"] = telemetry_off_ms;
   overhead["telemetry_on_ms"] = telemetry_on_ms;
   overhead["overhead_pct"] = overhead_pct;
+  overhead["tracing_on_ms"] = tracing_on_ms;
+  overhead["tracing_overhead_pct"] = tracing_overhead_pct;
   doc["telemetry_overhead"] = std::move(overhead);
   // Gating metrics for fedcl_report.py diff: the Fed-CDP hot-path
   // round time and engine speedups (the paper-Table-III quantities this
@@ -475,5 +512,32 @@ int main(int argc, char** argv) {
   // with --ignore-class time like the other absolute timings.
   bench::add_metric(doc, "telemetry_overhead_pct", overhead_pct, "lower",
                     "time");
-  return bench::emit_bench_json("perf_hotpath", doc) ? 0 : 1;
+  bench::add_metric(doc, "tracing_overhead_pct", tracing_overhead_pct,
+                    "lower", "time");
+  if (!bench::emit_bench_json("perf_hotpath", doc)) return 1;
+  // Hard in-bench gate: cross-host CI ignores class "time", so the
+  // tracing budget is enforced here where the legs ran interleaved on
+  // one host. It only arms when the measurement is trustworthy: not
+  // at smoke scale (runs too short to resolve a percent-level delta)
+  // and not when the off leg itself would not repeat within the budget
+  // (a loaded/1-core host cannot attribute a 3% delta to tracing).
+  const double off_spread_pct =
+      telemetry_off_ms > 0.0
+          ? (off_max_ms - telemetry_off_ms) / telemetry_off_ms * 100.0
+          : 0.0;
+  if (bench_scale() != BenchScale::kSmoke &&
+      tracing_overhead_pct > kTracingBudgetPct) {
+    if (off_spread_pct <= kTracingBudgetPct) {
+      std::fprintf(stderr,
+                   "GATE FAILED: tracing overhead %.2f%% exceeds the %.0f%% "
+                   "budget (off-leg spread %.2f%%)\n",
+                   tracing_overhead_pct, kTracingBudgetPct, off_spread_pct);
+      return 1;
+    }
+    std::printf(
+        "tracing gate SKIPPED: off-leg spread %.2f%% exceeds the %.0f%% "
+        "budget — host too noisy to attribute the delta\n",
+        off_spread_pct, kTracingBudgetPct);
+  }
+  return 0;
 }

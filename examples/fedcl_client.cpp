@@ -9,10 +9,13 @@
 //   fedcl_client --port=7100 --worker-index=1 --workers=2 &
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <string>
 
+#include "common/error.h"
 #include "common/flags.h"
 #include "common/run_info.h"
+#include "common/telemetry.h"
 #include "net/client_worker.h"
 
 namespace {
@@ -23,7 +26,11 @@ void print_usage(const char* program) {
   std::printf(
       "usage: %s --port=N [--host=ADDR] [--worker-index=I] [--workers=N]\n"
       "          [--connect-timeout-ms=T] [--io-timeout-ms=T]\n"
-      "  Hosts every client c with c %% workers == worker-index.\n",
+      "          [--telemetry-out=FILE.jsonl] [--trace-out=FILE.json]\n"
+      "  Hosts every client c with c %% workers == worker-index.\n"
+      "  --trace-out writes a Chrome trace-event JSON (Perfetto); the\n"
+      "  spans adopt the server's per-round trace ids when the server\n"
+      "  propagates them (docs/PROTOCOL.md §3.4).\n",
       program);
 }
 
@@ -41,6 +48,25 @@ int main(int argc, char** argv) {
     print_usage(flags.program().c_str());
     return 1;
   }
+  const std::string telemetry_out = flags.get("telemetry-out", "");
+  if (!telemetry_out.empty()) {
+    auto sink = std::make_unique<telemetry::JsonlSink>(telemetry_out);
+    FEDCL_CHECK(sink->ok()) << "cannot open --telemetry-out file '"
+                            << telemetry_out << "'";
+    telemetry::global_registry().add_sink(std::move(sink));
+  }
+  const std::string trace_out = flags.get("trace-out", "");
+  if (!trace_out.empty()) {
+    const std::string process_name =
+        "fedcl_client[" + flags.get("worker-index", "0") + "]";
+    auto sink = std::make_unique<telemetry::ChromeTraceSink>(
+        trace_out, process_name,
+        telemetry::global_registry().wall_epoch_unix_ms());
+    FEDCL_CHECK(sink->ok()) << "cannot open --trace-out file '" << trace_out
+                            << "'";
+    telemetry::global_registry().add_sink(std::move(sink));
+  }
+  telemetry::install_crash_flush_handler();
   net::WorkerConfig config;
   config.host = flags.get("host", "127.0.0.1");
   config.port = static_cast<int>(flags.get_int("port", 0));
@@ -54,12 +80,14 @@ int main(int argc, char** argv) {
     Result<net::WorkerReport> report = net::run_worker(config);
     if (!report.ok()) {
       std::fprintf(stderr, "fedcl_client: %s\n", report.error().c_str());
+      telemetry::global_registry().flush_sinks();
       return 1;
     }
     std::printf("fedcl_client: done — served %lld rounds, trained %lld "
                 "client updates\n",
                 static_cast<long long>(report.value().rounds_served),
                 static_cast<long long>(report.value().clients_trained));
+    telemetry::global_registry().flush_sinks();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fedcl_client: %s\n", e.what());

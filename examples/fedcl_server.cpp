@@ -55,8 +55,9 @@ void print_usage(const char* program) {
       "[--round-wait-ms=W]\n"
       "          [--accept-timeout-ms=T] [--io-timeout-ms=T]\n"
       "          [--save=FILE.ckpt] [--metrics-port=N]\n"
-      "          [--telemetry-out=FILE.jsonl]\n"
-      "  --port=0 picks an ephemeral port (printed on stdout).\n",
+      "          [--telemetry-out=FILE.jsonl] [--trace-out=FILE.json]\n"
+      "  --port=0 picks an ephemeral port (printed on stdout).\n"
+      "  --trace-out writes a Chrome trace-event JSON (Perfetto).\n",
       program);
 }
 
@@ -68,6 +69,18 @@ int run_server(const FlagParser& flags) {
                             << telemetry_out << "'";
     telemetry::global_registry().add_sink(std::move(sink));
   }
+  const std::string trace_out = flags.get("trace-out", "");
+  if (!trace_out.empty()) {
+    auto sink = std::make_unique<telemetry::ChromeTraceSink>(
+        trace_out, "fedcl_server",
+        telemetry::global_registry().wall_epoch_unix_ms());
+    FEDCL_CHECK(sink->ok()) << "cannot open --trace-out file '" << trace_out
+                            << "'";
+    telemetry::global_registry().add_sink(std::move(sink));
+  }
+  // Ctrl-C on a long run must still leave complete telemetry/trace
+  // files behind (DEPLOYMENT.md §5).
+  telemetry::install_crash_flush_handler();
   std::unique_ptr<telemetry::MetricsHttpServer> metrics_server;
   if (flags.has("metrics-port")) {
     const auto port = static_cast<int>(flags.get_int("metrics-port", 0));

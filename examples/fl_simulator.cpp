@@ -82,6 +82,8 @@ void print_usage(const char* program) {
       "          [--retry-backoff-ms=B] [--soft-deadline-ms=D]\n"
       "          [--reduced-quorum=N]\n"
       "          [--telemetry-out=FILE.jsonl] [--telemetry-prom=FILE.prom]\n"
+      "          [--trace-out=FILE.json]  (Chrome trace-event JSON; open "
+      "in Perfetto)\n"
       "          [--metrics-port=N]  (serve /metrics over HTTP; 0 = "
       "ephemeral port)\n"
       "          [--save=FILE.ckpt]  (write the final global model)\n",
@@ -122,6 +124,16 @@ int run_simulator(const FlagParser& flags) {
                             << telemetry_out << "'";
     telemetry::global_registry().add_sink(std::move(sink));
   }
+  const std::string trace_out = flags.get("trace-out", "");
+  if (!trace_out.empty()) {
+    auto sink = std::make_unique<telemetry::ChromeTraceSink>(
+        trace_out, "fl_simulator",
+        telemetry::global_registry().wall_epoch_unix_ms());
+    FEDCL_CHECK(sink->ok()) << "cannot open --trace-out file '" << trace_out
+                            << "'";
+    telemetry::global_registry().add_sink(std::move(sink));
+  }
+  telemetry::install_crash_flush_handler();
   TelemetryFlushGuard flush_guard(flags.get("telemetry-prom", ""));
 
   std::unique_ptr<telemetry::MetricsHttpServer> metrics_server;

@@ -1,8 +1,11 @@
 #include "common/telemetry.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <limits>
 
@@ -43,7 +46,85 @@ std::string encode_key(const std::string& name, const Labels& labels) {
   return key;
 }
 
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Fixed-width lowercase hex, the textual form of trace/span ids in
+// JSONL and Chrome-trace output (JSON numbers cannot carry u64).
+std::string hex_id(std::uint64_t v, int digits) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(static_cast<std::size_t>(digits), '0');
+  for (int i = digits - 1; i >= 0 && v != 0; --i, v >>= 4) {
+    out[static_cast<std::size_t>(i)] = kHex[v & 0xF];
+  }
+  return out;
+}
+
+std::string trace_hex(std::uint64_t hi, std::uint64_t lo) {
+  return hex_id(hi, 16) + hex_id(lo, 16);
+}
+
+thread_local std::vector<TraceContext> t_trace_stack;
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Trace context
+
+TraceContext current_trace() {
+  return t_trace_stack.empty() ? TraceContext{} : t_trace_stack.back();
+}
+
+std::uint64_t next_span_id() {
+  // Per-process salt from pid + wall clock: two processes of one
+  // deployment mint from disjoint streams, so ids are unique across a
+  // merged trace (collision probability is splitmix-negligible).
+  static const std::uint64_t kSalt = [] {
+    std::uint64_t s =
+        static_cast<std::uint64_t>(::getpid()) ^
+        static_cast<std::uint64_t>(
+            std::chrono::system_clock::now().time_since_epoch().count());
+    return splitmix64(s);
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t id = 0;
+  while (id == 0) {
+    std::uint64_t state =
+        kSalt + counter.fetch_add(1, std::memory_order_relaxed);
+    id = splitmix64(state);
+  }
+  return id;
+}
+
+TraceContext round_trace_root(std::uint64_t seed, std::int64_t round) {
+  // Deterministic in (seed, round) and identical in every process, so
+  // the server's, the workers', and the simulator's spans for one round
+  // share a trace id and merge into one Perfetto track group.
+  std::uint64_t state = seed ^ 0xF3D7A5C912B86E04ULL;
+  const std::uint64_t mixed_seed = splitmix64(state);
+  state = mixed_seed + static_cast<std::uint64_t>(round);
+  TraceContext ctx;
+  ctx.trace_hi = splitmix64(state);
+  ctx.trace_lo = splitmix64(state);
+  if ((ctx.trace_hi | ctx.trace_lo) == 0) ctx.trace_lo = 1;
+  ctx.span_id = 0;  // the round span becomes the root
+  return ctx;
+}
+
+TraceScope::TraceScope(const TraceContext& ctx) {
+  if (!ctx.valid()) return;
+  t_trace_stack.push_back(ctx);
+  pushed_ = true;
+}
+
+TraceScope::~TraceScope() {
+  if (pushed_) t_trace_stack.pop_back();
+}
 
 // ---------------------------------------------------------------------------
 // Histogram
@@ -170,6 +251,16 @@ void JsonlSink::write(const Event& event) {
     v["message"] = event.message;
   }
   if (event.step >= 0) v["step"] = event.step;
+  if (event.kind == Event::Kind::kSpan && event.span_id != 0) {
+    // Trace identity (absent on untraced spans, whose byte format is
+    // unchanged from before tracing existed). Ids are lowercase hex
+    // strings: JSON numbers are doubles and cannot carry u64.
+    v["trace"] = trace_hex(event.trace_hi, event.trace_lo);
+    v["span"] = hex_id(event.span_id, 16);
+    if (event.parent_span != 0) v["parent"] = hex_id(event.parent_span, 16);
+    if (event.parent_remote) v["parent_remote"] = true;
+    v["start_ms"] = event.start_ms;
+  }
   if (!event.labels.empty()) {
     json::Value labels = json::Value::object();
     for (const auto& [k, val] : event.labels) labels[k] = val;
@@ -180,6 +271,117 @@ void JsonlSink::write(const Event& event) {
 
 void JsonlSink::flush() {
   if (out_ != nullptr) out_->flush();
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTraceSink
+
+namespace {
+
+// Small dense per-thread ids for the Chrome "tid" field (hashed
+// std::thread::id values render as noise in Perfetto's track names).
+int current_tid() {
+  static std::atomic<int> next{1};
+  thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+namespace {
+
+// The document's constant closing bytes. Every flush leaves
+// `{"traceEvents":[...events...]` followed by exactly this suffix, so
+// the file on disk is a complete, loadable trace after each flush.
+constexpr char kTraceSuffix[] = "],\"displayTimeUnit\":\"ms\"}\n";
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(std::string path, std::string process_name,
+                                 double wall_epoch_unix_ms)
+    : path_(std::move(path)),
+      process_name_(std::move(process_name)),
+      epoch_ms_(wall_epoch_unix_ms),
+      pid_(static_cast<std::int64_t>(::getpid())) {
+  // Write the document skeleton up front: a bad --trace-out path fails
+  // at startup, and even a span-free run leaves a loadable empty trace.
+  // The only event so far is the process-name metadata ("M") Perfetto
+  // uses to label the track group.
+  json::Value m = json::Value::object();
+  m["name"] = "process_name";
+  m["ph"] = "M";
+  m["pid"] = pid_;
+  json::Value margs = json::Value::object();
+  margs["name"] = process_name_;
+  m["args"] = std::move(margs);
+  const std::string head = "{\"traceEvents\":[" + m.dump();
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    ok_ = false;
+    return;
+  }
+  ok_ = std::fwrite(head.data(), 1, head.size(), f) == head.size() &&
+        std::fwrite(kTraceSuffix, 1, sizeof(kTraceSuffix) - 1, f) ==
+            sizeof(kTraceSuffix) - 1;
+  std::fclose(f);
+  tail_pos_ = static_cast<long>(head.size());
+}
+
+ChromeTraceSink::~ChromeTraceSink() { flush(); }
+
+void ChromeTraceSink::write(const Event& event) {
+  if (!ok_ || event.kind != Event::Kind::kSpan) return;
+  spans_.push_back(event);
+  tids_.push_back(current_tid());
+  dirty_ = true;
+}
+
+void ChromeTraceSink::flush() {
+  if (!ok_ || !dirty_) return;
+  // Serialize only the spans buffered since the last flush and splice
+  // them in ahead of the constant suffix: the file only ever grows, so
+  // no truncation is needed, and a flush stays O(new events) no matter
+  // how long the run has been going.
+  std::string chunk;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Event& e = spans_[i];
+    json::Value v = json::Value::object();
+    v["name"] = e.name;
+    v["cat"] = "fedcl";
+    v["ph"] = "X";
+    // Complete events: ts/dur in microseconds, anchored to the wall
+    // clock so multi-process traces merge onto one timeline.
+    v["ts"] = (epoch_ms_ + e.start_ms) * 1000.0;
+    v["dur"] = e.value * 1000.0;
+    v["pid"] = pid_;
+    v["tid"] = tids_[i];
+    json::Value args = json::Value::object();
+    if (e.span_id != 0) {
+      args["trace"] = trace_hex(e.trace_hi, e.trace_lo);
+      args["span"] = hex_id(e.span_id, 16);
+      if (e.parent_span != 0) args["parent"] = hex_id(e.parent_span, 16);
+      if (e.parent_remote) args["parent_remote"] = true;
+    }
+    if (e.step >= 0) args["step"] = e.step;
+    for (const auto& [k, val] : e.labels) args[k] = val;
+    v["args"] = std::move(args);
+    chunk += ',';
+    chunk += v.dump();
+  }
+  spans_.clear();
+  tids_.clear();
+  std::FILE* f = std::fopen(path_.c_str(), "r+b");
+  if (f == nullptr || std::fseek(f, tail_pos_, SEEK_SET) != 0) {
+    if (f != nullptr) std::fclose(f);
+    ok_ = false;
+    return;
+  }
+  ok_ = std::fwrite(chunk.data(), 1, chunk.size(), f) == chunk.size() &&
+        std::fwrite(kTraceSuffix, 1, sizeof(kTraceSuffix) - 1, f) ==
+            sizeof(kTraceSuffix) - 1;
+  std::fclose(f);
+  tail_pos_ += static_cast<long>(chunk.size());
+  dirty_ = false;
 }
 
 // ---------------------------------------------------------------------------
@@ -235,6 +437,12 @@ struct Registry::Impl {
 
   std::chrono::steady_clock::time_point start =
       std::chrono::steady_clock::now();
+  // Wall-clock anchor captured together with `start`: unix-epoch ms
+  // that t_ms == 0 corresponds to (the cross-process trace timeline).
+  double wall_epoch_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::system_clock::now()
+                                 .time_since_epoch())
+                             .count();
 
   // Guards instruments, series, and cardinality bookkeeping. The sink
   // mutex below is the innermost lock: it is never held while taking
@@ -298,6 +506,8 @@ double Registry::now_ms() const {
              std::chrono::steady_clock::now() - impl_->start)
       .count();
 }
+
+double Registry::wall_epoch_unix_ms() const { return impl_->wall_epoch_ms; }
 
 namespace {
 
@@ -384,6 +594,13 @@ void Registry::emit_span(const std::string& name, double dur_ms,
   e.step = step;
   e.value = dur_ms;
   impl_->write_sinks(e);
+}
+
+void Registry::emit(Event event) {
+  if (!has_sinks()) return;
+  event.labels = canonical(std::move(event.labels));
+  event.t_ms = now_ms();
+  impl_->write_sinks(event);
 }
 
 void Registry::log_line(const std::string& level, const std::string& message) {
@@ -553,13 +770,66 @@ SpanTimer::SpanTimer(Registry& registry, std::string name, Labels labels,
       name_(std::move(name)),
       labels_(std::move(labels)),
       step_(step),
-      start_ms_(registry.now_ms()) {}
+      start_ms_(registry.now_ms()) {
+  const TraceContext parent = current_trace();
+  if (!parent.valid()) return;  // no active trace: untraced span
+  // The span id is minted here, at construction, so context() can be
+  // propagated (onto the wire, into pool workers) while the span is
+  // still open.
+  ctx_.trace_hi = parent.trace_hi;
+  ctx_.trace_lo = parent.trace_lo;
+  ctx_.span_id = next_span_id();
+  parent_span_ = parent.span_id;
+  parent_remote_ = parent.remote;
+  t_trace_stack.push_back(ctx_);
+  pushed_ = true;
+}
 
 SpanTimer::~SpanTimer() {
+  if (pushed_) t_trace_stack.pop_back();
   const double dur_ms = registry_.now_ms() - start_ms_;
   registry_.histogram(name_ + ".duration_ms", duration_ms_buckets(), labels_)
       .observe(dur_ms);
-  registry_.emit_span(name_, dur_ms, step_, labels_);
+  if (!ctx_.valid()) {
+    registry_.emit_span(name_, dur_ms, step_, labels_);
+    return;
+  }
+  Event e;
+  e.kind = Event::Kind::kSpan;
+  e.name = name_;
+  e.labels = labels_;
+  e.step = step_;
+  e.value = dur_ms;
+  e.trace_hi = ctx_.trace_hi;
+  e.trace_lo = ctx_.trace_lo;
+  e.span_id = ctx_.span_id;
+  e.parent_span = parent_span_;
+  e.parent_remote = parent_remote_ && parent_span_ != 0;
+  e.start_ms = start_ms_;
+  registry_.emit(std::move(e));
+}
+
+// ---------------------------------------------------------------------------
+// Crash-path flush
+
+namespace {
+
+extern "C" void crash_flush_signal_handler(int signo) {
+  // Best-effort: flush_sinks takes the sink mutex and ChromeTraceSink
+  // rewrites its file — not async-signal-safe, but the runbook's
+  // Ctrl-C lands while the process waits on sockets or rounds, where
+  // the locks are free. Restoring the default disposition first means
+  // a second Ctrl-C kills a wedged flush the normal way.
+  std::signal(signo, SIG_DFL);
+  global_registry().flush_sinks();
+  std::_Exit(128 + signo);
+}
+
+}  // namespace
+
+void install_crash_flush_handler() {
+  std::signal(SIGINT, crash_flush_signal_handler);
+  std::signal(SIGTERM, crash_flush_signal_handler);
 }
 
 }  // namespace fedcl::telemetry

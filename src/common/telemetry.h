@@ -104,6 +104,58 @@ const std::vector<double>& duration_ms_buckets();
 const std::vector<double>& norm_buckets();
 
 // ---------------------------------------------------------------------------
+// Trace context
+
+// The distributed-tracing identity a span is emitted under: a 128-bit
+// trace id (one per federated round, deterministic in (seed, round) so
+// the same round traced by different processes lands in the same
+// trace) plus the span id children should parent under. A context with
+// trace_hi == trace_lo == 0 is "not tracing" — spans emitted outside
+// any context carry no ids at all, which keeps the pre-trace JSONL
+// byte format for untraced streams.
+struct TraceContext {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;  // the span new children parent under
+  // True when this context was adopted from another process (the wire
+  // carried it here): the direct child span's parent id is then not
+  // resolvable in the local event stream, and is flagged as such so
+  // single-file validators don't count it as dangling.
+  bool remote = false;
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+};
+
+// The calling thread's innermost trace context ({} when not tracing).
+TraceContext current_trace();
+
+// Process-unique nonzero span id (counter mixed with a per-process
+// salt, so ids never collide across the server/worker processes of
+// one deployment).
+std::uint64_t next_span_id();
+
+// Deterministic per-round root context: same (seed, round) => same
+// 128-bit trace id in every process, span_id = 0 (the round span
+// becomes the trace root).
+TraceContext round_trace_root(std::uint64_t seed, std::int64_t round);
+
+// RAII adoption of a trace context onto the calling thread: pool
+// workers and the remote-worker round loop wrap their work in one so
+// spans they emit parent correctly. SpanTimer pushes/pops its own
+// context automatically; explicit scopes are for crossing thread or
+// process boundaries.
+class TraceScope {
+ public:
+  explicit TraceScope(const TraceContext& ctx);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+// ---------------------------------------------------------------------------
 // Event stream
 
 struct Event {
@@ -116,6 +168,14 @@ struct Event {
   double value = 0.0;   // point: the value; span: duration in ms
   std::string level;    // log only: DEBUG/INFO/WARN/ERROR
   std::string message;  // log only
+  // Trace identity (kSpan only; span_id == 0 = untraced span, which
+  // serializes exactly as before tracing existed).
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;  // 0 = trace root
+  bool parent_remote = false;     // parent id lives in another process
+  double start_ms = 0.0;          // span start (t_ms is the end/emit time)
 };
 
 class Sink {
@@ -148,6 +208,47 @@ class JsonlSink final : public Sink {
   std::ofstream file_;
   std::ostream* out_ = nullptr;
 };
+
+// Chrome trace-event JSON (one "X" complete event per span), viewable
+// in Perfetto / chrome://tracing and consumed by tools/fedcl_trace.py.
+// Timestamps are anchored to the wall clock (`wall_epoch_unix_ms`, see
+// Registry::wall_epoch_unix_ms) so traces captured by separate
+// processes merge onto one timeline. Events are buffered and the file
+// is rewritten as a complete JSON document on every flush(), so a
+// crash-path flush (install_crash_flush_handler) still leaves a
+// loadable trace behind.
+class ChromeTraceSink final : public Sink {
+ public:
+  ChromeTraceSink(std::string path, std::string process_name,
+                  double wall_epoch_unix_ms);
+  ~ChromeTraceSink() override;
+
+  bool ok() const { return ok_; }
+  void write(const Event& event) override;  // spans only; others ignored
+  void flush() override;
+
+ private:
+  std::string path_;
+  std::string process_name_;
+  double epoch_ms_;
+  std::int64_t pid_;
+  std::vector<Event> spans_;  // pending (not yet flushed) spans only
+  std::vector<int> tids_;  // per-span small thread ids, parallel to spans_
+  // Byte offset of the document's constant closing suffix. Flush
+  // appends only the pending events there and rewrites the suffix, so
+  // a flush costs O(new events), not O(events so far) — a repeatedly
+  // flushed long run (crash handler, per-run flushes) stays linear.
+  long tail_pos_ = 0;
+  bool ok_ = true;
+  bool dirty_ = false;
+};
+
+// Installs SIGINT/SIGTERM handlers that flush the global registry's
+// sinks (JSONL and Chrome-trace files land complete) and exit with the
+// conventional 128+signo status. Best-effort: the flush takes locks
+// that are not async-signal-safe, acceptable for the Ctrl-C runbook
+// path it guards (DEPLOYMENT.md §5).
+void install_crash_flush_handler();
 
 // ---------------------------------------------------------------------------
 // Snapshot
@@ -233,6 +334,11 @@ class Registry {
   void emit_span(const std::string& name, double dur_ms, std::int64_t step,
                  const Labels& labels);
 
+  // Emits a fully-formed event (labels canonicalized, t_ms stamped at
+  // call time). SpanTimer uses this to attach trace identities; prefer
+  // record_point / log_line / emit_span elsewhere.
+  void emit(Event event);
+
   // Emits a kLog event. The logging module routes every line that
   // passes its level filter through here, so JSONL runs capture
   // WARN/ERROR interleaved with metrics in emission order.
@@ -247,6 +353,12 @@ class Registry {
 
   // Milliseconds since this registry was created (steady clock).
   double now_ms() const;
+
+  // Wall-clock (unix epoch) milliseconds at registry creation: the
+  // anchor that places the steady-clock `t_ms`/`start_ms` offsets of
+  // this process's events onto the shared cross-process timeline
+  // (epoch_ms + offset). ChromeTraceSink consumes it.
+  double wall_epoch_unix_ms() const;
 
   // Caps distinct label sets per metric name; beyond it, updates are
   // folded into an {"overflow","true"} series and a WARN is logged
@@ -278,6 +390,14 @@ Registry& global_registry();
 // RAII phase timer: on destruction observes the elapsed ms into the
 // histogram `<name>.duration_ms` (with the same labels) and, when a
 // sink is attached, emits a kSpan event.
+//
+// Tracing: when the calling thread has an active trace context
+// (TraceScope, or an enclosing SpanTimer), the timer allocates its
+// span id at *construction* — so context() is usable immediately, e.g.
+// to stamp a TrainRequest before the round span closes — captures the
+// enclosing context as its parent, and pushes its own context for the
+// scope of the span. Outside any context the span stays untraced and
+// costs one thread-local read extra.
 class SpanTimer {
  public:
   SpanTimer(Registry& registry, std::string name, Labels labels = {},
@@ -286,12 +406,21 @@ class SpanTimer {
   SpanTimer(const SpanTimer&) = delete;
   SpanTimer& operator=(const SpanTimer&) = delete;
 
+  // This span's context ({trace ids, span_id}; invalid when untraced).
+  // Hand it to TraceScope in a pool-worker lambda or encode it onto
+  // the wire to parent remote spans under this one.
+  TraceContext context() const { return ctx_; }
+
  private:
   Registry& registry_;
   std::string name_;
   Labels labels_;
   std::int64_t step_;
   double start_ms_;
+  TraceContext ctx_;               // valid() only when tracing
+  std::uint64_t parent_span_ = 0;
+  bool parent_remote_ = false;
+  bool pushed_ = false;
 };
 
 }  // namespace fedcl::telemetry

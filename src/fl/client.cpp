@@ -86,7 +86,12 @@ ClientRoundOutcome Client::run_round(nn::Sequential& model,
             tensor::list::l2_norm(batch_grad);
         if (probing) probe->first_batch_gradient = std::move(batch_grad);
       }
-      policy.sanitize_per_example_batch(grads, groups, round, rng);
+      {
+        telemetry::SpanTimer sanitize_span(
+            telemetry::global_registry(), "dp.sanitize",
+            {{"stage", "per_example"}}, round);
+        policy.sanitize_per_example_batch(grads, groups, round, rng);
+      }
       if (probing) {
         probe->type2_observed = grads.example(0);
         data::copy_example(batch, 0, probe->type2_example);
@@ -121,7 +126,12 @@ ClientRoundOutcome Client::run_round(nn::Sequential& model,
   // Line 17: Delta W_i(t) = W_i(t)_L - W(t).
   TensorList delta = model.weights();
   tensor::list::add_(delta, global_weights, -1.0f);
-  policy.sanitize_client_update(delta, groups, round, rng);
+  {
+    telemetry::SpanTimer sanitize_span(
+        telemetry::global_registry(), "dp.sanitize", {{"stage", "update"}},
+        round);
+    policy.sanitize_client_update(delta, groups, round, rng);
+  }
 
   // Pre-sanitization first-iteration batch gradient norm — the
   // quantity the paper's clipping bound C is calibrated against.

@@ -224,6 +224,11 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
     std::vector<PendingArrival> pending;
 
     for (std::int64_t t = 0; t < rounds; ++t) {
+      // Same (seed, round) trace id the serving stack derives, so an
+      // in-process run and a served run of one experiment produce
+      // directly comparable traces (--trace-out, docs/METRICS.md).
+      telemetry::TraceScope trace(
+          telemetry::round_trace_root(config.seed, t));
       telemetry::SpanTimer round_span(registry, "fl.round", {}, t);
       const std::pair<std::int64_t, std::int64_t> clip_before = clip_totals();
       RoundRecord record;
@@ -422,7 +427,12 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
           std::vector<nn::Sequential*> free_slots;
           free_slots.reserve(slot_models.size());
           for (const auto& m : slot_models) free_slots.push_back(m.get());
+          // Pool threads have an empty trace stack; adopt the phase
+          // span's context so client-side spans parent under it.
+          const telemetry::TraceContext train_ctx =
+              telemetry::current_trace();
           pool.parallel_for(runnable.size(), [&](std::size_t k) {
+            telemetry::TraceScope adopt(train_ctx);
             nn::Sequential* scratch = nullptr;
             {
               std::lock_guard<std::mutex> lock(slot_mutex);
@@ -607,6 +617,8 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
   }
 
   for (std::int64_t t = 0; t < rounds; ++t) {
+    telemetry::TraceScope trace(
+        telemetry::round_trace_root(config.seed, t));
     telemetry::SpanTimer round_span(registry, "fl.round", {}, t);
     const std::pair<std::int64_t, std::int64_t> clip_before = clip_totals();
     Rng sample_rng = round_rng.fork("sample", static_cast<std::uint64_t>(t));
@@ -707,7 +719,11 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
       std::vector<nn::Sequential*> free_slots;
       free_slots.reserve(slot_models.size());
       for (const auto& m : slot_models) free_slots.push_back(m.get());
+      // Adopt the caller's trace context on each pool thread so the
+      // per-client spans parent under the local_train phase span.
+      const telemetry::TraceContext train_ctx = telemetry::current_trace();
       pool.parallel_for(runnable.size(), [&](std::size_t k) {
+        telemetry::TraceScope adopt(train_ctx);
         nn::Sequential* scratch = nullptr;
         {
           std::lock_guard<std::mutex> lock(slot_mutex);

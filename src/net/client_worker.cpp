@@ -2,12 +2,14 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "data/benchmarks.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
@@ -38,7 +40,12 @@ Result<WorkerReport> run_worker(const WorkerConfig& config) {
   HelloMsg hello;
   hello.worker_index = static_cast<std::uint32_t>(config.worker_index);
   hello.num_workers = static_cast<std::uint32_t>(config.num_workers);
-  if (!write_frame(conn, MsgType::kHello, encode_hello(hello))) {
+  // Advertise the trace-context capability on the Hello frame: a
+  // pre-tracing server reads the flags byte as reserved and ignores
+  // it, a tracing server starts appending the optional trace field to
+  // our TrainRequests (PROTOCOL.md §2, §3.4).
+  if (!write_frame(conn, MsgType::kHello, encode_hello(hello),
+                   kFrameFlagTraceContext)) {
     return R::failure("failed to send hello");
   }
 
@@ -110,6 +117,9 @@ Result<WorkerReport> run_worker(const WorkerConfig& config) {
                   << " of " << d.total_clients << " clients on "
                   << bench.name;
 
+  telemetry::Registry& reg = telemetry::global_registry();
+  const std::string worker_label = std::to_string(config.worker_index);
+
   WorkerReport report;
   for (;;) {
     st = read_frame(conn, frame, kDefaultMaxPayload, config.io_timeout_ms);
@@ -138,6 +148,19 @@ Result<WorkerReport> run_worker(const WorkerConfig& config) {
     }
     const fl::TensorList global_weights = weights.take();
 
+    // Adopt the server's round trace: our spans parent under the
+    // server-side fl.round span so the merged Chrome trace shows one
+    // tree per round across processes. `remote` marks the parent id as
+    // living in another process's event stream.
+    std::optional<telemetry::TraceScope> adopt;
+    if (req.has_trace) {
+      adopt.emplace(telemetry::TraceContext{req.trace_hi, req.trace_lo,
+                                            req.parent_span,
+                                            /*remote=*/true});
+    }
+    telemetry::SpanTimer request_span(
+        reg, "fl.client.round", {{"worker", worker_label}}, req.round);
+
     for (std::int64_t ci : req.client_ids) {
       auto it = hosted.find(ci);
       if (it == hosted.end()) {
@@ -155,16 +178,28 @@ Result<WorkerReport> run_worker(const WorkerConfig& config) {
       // forks — the label discipline is the parity guarantee.
       Rng crng = round_rng.fork(
           "client", static_cast<std::uint64_t>(req.round * 1000003 + ci));
-      fl::ClientRoundOutcome outcome = it->second.run_round(
-          *model, global_weights, *policy, req.round, crng);
-      if (d.prune_ratio > 0.0) {
-        fl::prune_smallest(outcome.update.delta, d.prune_ratio);
-      }
+      fl::ClientRoundOutcome outcome = [&] {
+        telemetry::SpanTimer train_span(reg, "fl.client.phase",
+                                        {{"phase", "local_train"}},
+                                        req.round);
+        return it->second.run_round(*model, global_weights, *policy,
+                                    req.round, crng);
+      }();
       fl::SecureChannel channel(fl::client_channel_key(d.seed, ci));
       UpdateMsg msg;
-      msg.client_id = ci;
-      msg.data_size = static_cast<std::int64_t>(it->second.data().size());
-      msg.sealed = channel.seal(fl::serialize_update(outcome.update));
+      {
+        telemetry::SpanTimer serialize_span(reg, "fl.client.phase",
+                                            {{"phase", "serialize"}},
+                                            req.round);
+        if (d.prune_ratio > 0.0) {
+          fl::prune_smallest(outcome.update.delta, d.prune_ratio);
+        }
+        msg.client_id = ci;
+        msg.data_size = static_cast<std::int64_t>(it->second.data().size());
+        msg.sealed = channel.seal(fl::serialize_update(outcome.update));
+      }
+      telemetry::SpanTimer upload_span(reg, "fl.client.phase",
+                                       {{"phase", "upload"}}, req.round);
       if (!write_frame(conn, MsgType::kUpdate, encode_update(msg))) {
         return R::failure("failed to send update");
       }

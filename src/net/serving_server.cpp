@@ -39,6 +39,11 @@ double ms_since(Clock::time_point start) {
 struct WorkerSlot {
   TcpConn conn;
   bool alive = false;
+  // Capability flags the worker advertised on its Hello frame. The
+  // trace-context field is appended to TrainRequests only when
+  // kFrameFlagTraceContext is set here — an old worker's decoder
+  // rejects trailing bytes, so the server must not volunteer them.
+  std::uint8_t flags = 0;
   struct Outstanding {
     std::int64_t round = 0;
     std::unordered_set<std::int64_t> remaining;
@@ -141,10 +146,15 @@ ServingReport ServingServer::run() {
               static_cast<std::uint32_t>(options_.num_workers)) {
         std::lock_guard<std::mutex> lock(roster_mutex);
         WorkerSlot& slot = workers[hello.value().worker_index];
+        // Echo back the capability bits this server understands and
+        // will use — currently just the trace-context flag.
+        const std::uint8_t caps =
+            frame.flags & kFrameFlagTraceContext;
         if (!roster_closed && !slot.alive &&
-            write_frame(conn, MsgType::kWelcome, welcome)) {
+            write_frame(conn, MsgType::kWelcome, welcome, caps)) {
           slot.conn = std::move(conn);
           slot.alive = true;
+          slot.flags = caps;
           ++registered;
           admitted = true;
           reg.counter("fl.net.connections_accepted_total").add(1);
@@ -236,8 +246,11 @@ ServingReport ServingServer::run() {
 
   // Opens and deserializes one UpdateMsg through the per-client channel
   // (docs/PROTOCOL.md §4). nullopt = decode rejection, already tallied.
-  auto open_update = [&](UpdateMsg msg, fl::RoundFailureStats& stats)
+  auto open_update = [&](UpdateMsg msg, std::size_t worker,
+                         std::int64_t round, fl::RoundFailureStats& stats)
       -> std::optional<fl::ClientUpdate> {
+    telemetry::SpanTimer screen_span(
+        reg, "fl.net.screen", {{"worker", std::to_string(worker)}}, round);
     fl::SecureChannel channel(
         fl::client_channel_key(d.seed, msg.client_id));
     Result<std::vector<std::uint8_t>> opened =
@@ -268,6 +281,10 @@ ServingReport ServingServer::run() {
 
     for (std::int64_t t = 0; t < d.rounds; ++t) {
       const Clock::time_point round_start = Clock::now();
+      // Every process derives the same per-round trace id from (seed,
+      // round), so worker-side spans land in the same trace without a
+      // coordination round-trip; the server's round span is the root.
+      telemetry::TraceScope trace(telemetry::round_trace_root(d.seed, t));
       telemetry::SpanTimer round_span(reg, "fl.round", {}, t);
       fl::RoundFailureStats stats;
 
@@ -295,29 +312,42 @@ ServingReport ServingServer::run() {
       const std::vector<std::uint8_t> weights_blob =
           fl::serialize_tensor_list(server.weights());
 
-      for (std::size_t w = 0; w < workers.size(); ++w) {
-        if (ids_per_worker[w].empty()) continue;
-        if (!workers[w].alive) {
-          expire_crash(stats, ids_per_worker[w].size());
-          continue;
+      {
+        telemetry::SpanTimer dispatch_span(
+            reg, "fl.phase", {{"phase", "dispatch"}}, t);
+        const telemetry::TraceContext rctx = round_span.context();
+        for (std::size_t w = 0; w < workers.size(); ++w) {
+          if (ids_per_worker[w].empty()) continue;
+          if (!workers[w].alive) {
+            expire_crash(stats, ids_per_worker[w].size());
+            continue;
+          }
+          TrainRequestMsg req;
+          req.round = t;
+          req.client_ids = ids_per_worker[w];
+          req.weights_blob = weights_blob;
+          if ((workers[w].flags & kFrameFlagTraceContext) && rctx.valid()) {
+            req.has_trace = true;
+            req.trace_hi = rctx.trace_hi;
+            req.trace_lo = rctx.trace_lo;
+            req.parent_span = rctx.span_id;
+          }
+          if (!write_frame(workers[w].conn, MsgType::kTrainRequest,
+                           encode_train_request(req))) {
+            kill_worker(workers[w], "send failed");
+            expire_crash(stats, ids_per_worker[w].size());
+            continue;
+          }
+          reg.counter("fl.net.frames_sent_total").add(1);
         }
-        TrainRequestMsg req;
-        req.round = t;
-        req.client_ids = ids_per_worker[w];
-        req.weights_blob = weights_blob;
-        if (!write_frame(workers[w].conn, MsgType::kTrainRequest,
-                         encode_train_request(req))) {
-          kill_worker(workers[w], "send failed");
-          expire_crash(stats, ids_per_worker[w].size());
-          continue;
-        }
-        reg.counter("fl.net.frames_sent_total").add(1);
       }
 
       // Collect worker by worker: replies queue in each socket while
       // the others compute, so serial reads lose no concurrency.
       for (std::size_t w = 0; w < workers.size(); ++w) {
         if (ids_per_worker[w].empty() || !workers[w].alive) continue;
+        telemetry::SpanTimer recv_span(
+            reg, "fl.net.recv", {{"worker", std::to_string(w)}}, t);
         std::unordered_set<std::int64_t> pending(
             ids_per_worker[w].begin(), ids_per_worker[w].end());
         while (!pending.empty()) {
@@ -354,7 +384,7 @@ ServingReport ServingServer::run() {
             const double weight = static_cast<double>(msg.data_size);
             const std::size_t slot = slot_of[msg.client_id];
             if (std::optional<fl::ClientUpdate> u =
-                    open_update(std::move(msg), stats)) {
+                    open_update(std::move(msg), w, t, stats)) {
               got[slot] = std::make_pair(std::move(*u), weight);
             }
           } else if (frame.type == MsgType::kTrainError) {
@@ -507,8 +537,9 @@ ServingReport ServingServer::run() {
       const double weight = options_.weight_by_data_size
                                 ? static_cast<double>(update_msg->data_size)
                                 : 1.0;
-      std::optional<fl::ClientUpdate> update =
-          open_update(std::move(*update_msg), stats);
+      std::optional<fl::ClientUpdate> update = open_update(
+          std::move(*update_msg),
+          static_cast<std::size_t>(&w - workers.data()), now, stats);
       if (!update.has_value()) {
         ++rejected;
         return true;
@@ -549,6 +580,14 @@ ServingReport ServingServer::run() {
     auto drain_worker = [&](WorkerSlot& w, std::int64_t now,
                             fl::RoundFailureStats& stats,
                             std::int64_t& accepted, std::int64_t& rejected) {
+      if (!(w.alive && !w.outstanding.empty() && w.conn.readable(0))) {
+        return;  // nothing queued: no empty fl.net.recv span
+      }
+      telemetry::SpanTimer recv_span(
+          reg, "fl.net.recv",
+          {{"worker",
+            std::to_string(static_cast<std::size_t>(&w - workers.data()))}},
+          now);
       while (w.alive && !w.outstanding.empty() && w.conn.readable(0)) {
         Frame frame;
         const FrameStatus st = read_frame(
@@ -570,6 +609,7 @@ ServingReport ServingServer::run() {
 
     for (std::int64_t t = 0; t < d.rounds; ++t) {
       const Clock::time_point round_start = Clock::now();
+      telemetry::TraceScope trace(telemetry::round_trace_root(d.seed, t));
       telemetry::SpanTimer round_span(reg, "fl.round", {}, t);
       fl::RoundFailureStats stats;
       const std::int64_t applies_before = agg.applies();
@@ -595,50 +635,62 @@ ServingReport ServingServer::run() {
       // already `max_inflight_rounds` behind gets nothing new; its
       // cohort slots expire as stragglers rather than queueing without
       // bound.
-      Rng sample_rng =
-          round_rng.fork("sample", static_cast<std::uint64_t>(t));
-      const std::vector<std::size_t> chosen =
-          sample_rng.sample_without_replacement(
-              static_cast<std::size_t>(d.total_clients),
-              static_cast<std::size_t>(d.clients_per_round));
-      std::vector<std::vector<std::int64_t>> ids_per_worker(workers.size());
-      for (std::size_t ci : chosen) {
-        ids_per_worker[ci % workers.size()].push_back(
-            static_cast<std::int64_t>(ci));
-      }
-      const std::vector<std::uint8_t> weights_blob =
-          fl::serialize_tensor_list(agg.weights_snapshot());
-      for (std::size_t w = 0; w < workers.size(); ++w) {
-        if (ids_per_worker[w].empty()) continue;
-        if (!workers[w].alive) {
-          expire_crash(stats, ids_per_worker[w].size());
-          continue;
+      {
+        telemetry::SpanTimer dispatch_span(
+            reg, "fl.phase", {{"phase", "dispatch"}}, t);
+        const telemetry::TraceContext rctx = round_span.context();
+        Rng sample_rng =
+            round_rng.fork("sample", static_cast<std::uint64_t>(t));
+        const std::vector<std::size_t> chosen =
+            sample_rng.sample_without_replacement(
+                static_cast<std::size_t>(d.total_clients),
+                static_cast<std::size_t>(d.clients_per_round));
+        std::vector<std::vector<std::int64_t>> ids_per_worker(
+            workers.size());
+        for (std::size_t ci : chosen) {
+          ids_per_worker[ci % workers.size()].push_back(
+              static_cast<std::int64_t>(ci));
         }
-        if (static_cast<int>(workers[w].outstanding.size()) >=
-            options_.max_inflight_rounds) {
-          reg.counter("fl.net.backpressure_withheld_total")
-              .add(static_cast<std::int64_t>(ids_per_worker[w].size()));
-          expire_straggler(stats, ids_per_worker[w].size());
-          continue;
+        const std::vector<std::uint8_t> weights_blob =
+            fl::serialize_tensor_list(agg.weights_snapshot());
+        for (std::size_t w = 0; w < workers.size(); ++w) {
+          if (ids_per_worker[w].empty()) continue;
+          if (!workers[w].alive) {
+            expire_crash(stats, ids_per_worker[w].size());
+            continue;
+          }
+          if (static_cast<int>(workers[w].outstanding.size()) >=
+              options_.max_inflight_rounds) {
+            reg.counter("fl.net.backpressure_withheld_total")
+                .add(static_cast<std::int64_t>(ids_per_worker[w].size()));
+            expire_straggler(stats, ids_per_worker[w].size());
+            continue;
+          }
+          TrainRequestMsg req;
+          req.round = t;
+          req.client_ids = ids_per_worker[w];
+          req.weights_blob = weights_blob;
+          if ((workers[w].flags & kFrameFlagTraceContext) && rctx.valid()) {
+            req.has_trace = true;
+            req.trace_hi = rctx.trace_hi;
+            req.trace_lo = rctx.trace_lo;
+            req.parent_span = rctx.span_id;
+          }
+          if (!write_frame(workers[w].conn, MsgType::kTrainRequest,
+                           encode_train_request(req))) {
+            expire_crash(stats, ids_per_worker[w].size() +
+                                    workers[w].outstanding_clients());
+            workers[w].outstanding.clear();
+            kill_worker(workers[w], "send failed");
+            continue;
+          }
+          reg.counter("fl.net.frames_sent_total").add(1);
+          WorkerSlot::Outstanding o;
+          o.round = t;
+          o.remaining.insert(ids_per_worker[w].begin(),
+                             ids_per_worker[w].end());
+          workers[w].outstanding.push_back(std::move(o));
         }
-        TrainRequestMsg req;
-        req.round = t;
-        req.client_ids = ids_per_worker[w];
-        req.weights_blob = weights_blob;
-        if (!write_frame(workers[w].conn, MsgType::kTrainRequest,
-                         encode_train_request(req))) {
-          expire_crash(stats, ids_per_worker[w].size() +
-                                  workers[w].outstanding_clients());
-          workers[w].outstanding.clear();
-          kill_worker(workers[w], "send failed");
-          continue;
-        }
-        reg.counter("fl.net.frames_sent_total").add(1);
-        WorkerSlot::Outstanding o;
-        o.round = t;
-        o.remaining.insert(ids_per_worker[w].begin(),
-                           ids_per_worker[w].end());
-        workers[w].outstanding.push_back(std::move(o));
       }
 
       // Phase 2: collection window. Wait (bounded) for this round's

@@ -169,6 +169,14 @@ std::vector<std::uint8_t> encode_train_request(const TrainRequestMsg& msg) {
   for (std::int64_t id : msg.client_ids) append_pod(out, id);
   append_pod(out, static_cast<std::uint32_t>(msg.weights_blob.size()));
   out.insert(out.end(), msg.weights_blob.begin(), msg.weights_blob.end());
+  // Optional trailing trace context. Without it the encoding is
+  // byte-identical to the pre-tracing format — the compatibility
+  // contract NetWire.TrainRequestEncodingWithoutTraceIsPrePr9 pins.
+  if (msg.has_trace) {
+    append_pod(out, msg.trace_hi);
+    append_pod(out, msg.trace_lo);
+    append_pod(out, msg.parent_span);
+  }
   return out;
 }
 
@@ -198,6 +206,15 @@ Result<TrainRequestMsg> decode_train_request(
   }
   if (!r.read_bytes(msg.weights_blob, blob_len)) {
     return R::failure("truncated train request");
+  }
+  // Optional trailing trace context: absent (old sender) or exactly
+  // 24 bytes. Anything else is still a framing violation.
+  if (r.remaining() != 0) {
+    if (r.remaining() != 24 || !r.read(msg.trace_hi) ||
+        !r.read(msg.trace_lo) || !r.read(msg.parent_span)) {
+      return R::failure("trailing bytes in train request");
+    }
+    msg.has_trace = true;
   }
   if (r.remaining() != 0) {
     return R::failure("trailing bytes in train request");

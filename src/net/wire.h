@@ -60,10 +60,22 @@ struct ExperimentDescriptor {
 
 // server -> client: train these clients at this round, starting from
 // these global weights (the tensor-list blob of fl/protocol.h).
+//
+// The trace context is an *optional trailing field* (PROTOCOL.md
+// §3.4): 24 bytes appended only when `has_trace` — which the server
+// sets only for workers that advertised kFrameFlagTraceContext in
+// their Hello, because a pre-tracing decoder rejects any trailing
+// bytes. The decoder accepts both lengths, so a new worker
+// interoperates with an old server (absent field) and an old worker
+// with a new server (field withheld).
 struct TrainRequestMsg {
   std::int64_t round = 0;
   std::vector<std::int64_t> client_ids;
   std::vector<std::uint8_t> weights_blob;
+  bool has_trace = false;
+  std::uint64_t trace_hi = 0;     // 128-bit trace id of the round
+  std::uint64_t trace_lo = 0;
+  std::uint64_t parent_span = 0;  // the server's round span id
 };
 
 // client -> server: one client's sealed update. client_id travels in

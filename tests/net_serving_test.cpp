@@ -11,8 +11,10 @@
 #include <cstring>
 #include <memory>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "data/benchmarks.h"
 #include "fl/protocol.h"
 #include "fl/trainer.h"
@@ -209,6 +211,117 @@ TEST(NetWire, TrainRequestRoundTripAndFuzz) {
   }
 }
 
+// The optional-trailing-field contract (PROTOCOL.md §3.4): a request
+// without the trace context must be byte-identical to what a pre-trace
+// build produced — hand-built here against the frozen layout — and the
+// decoder must accept that encoding with has_trace == false.
+TEST(NetWire, TrainRequestEncodingWithoutTraceIsPrePr9) {
+  TrainRequestMsg msg;
+  msg.round = 7;
+  msg.client_ids = {0, 3, 9};
+  msg.weights_blob = {10, 20, 30, 40};
+
+  // The pre-trace layout: round i64, count u32, ids i64..., blob u32+.
+  std::vector<std::uint8_t> expected;
+  auto append = [&](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    expected.insert(expected.end(), b, b + n);
+  };
+  const std::int64_t round = 7;
+  append(&round, sizeof(round));
+  const std::uint32_t count = 3;
+  append(&count, sizeof(count));
+  for (std::int64_t id : msg.client_ids) append(&id, sizeof(id));
+  const std::uint32_t blob_len = 4;
+  append(&blob_len, sizeof(blob_len));
+  append(msg.weights_blob.data(), msg.weights_blob.size());
+
+  EXPECT_EQ(encode_train_request(msg), expected)
+      << "untraced encoding changed: old decoders would reject it";
+
+  // Old bytes into the new decoder: accepted, and no trace invented.
+  Result<TrainRequestMsg> back = decode_train_request(expected);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_FALSE(back.value().has_trace);
+  EXPECT_EQ(back.value().trace_hi, 0u);
+  EXPECT_EQ(back.value().parent_span, 0u);
+}
+
+TEST(NetWire, TrainRequestTraceFieldRoundTripAndFuzz) {
+  TrainRequestMsg msg;
+  msg.round = 5;
+  msg.client_ids = {1, 2};
+  msg.weights_blob = {42, 43};
+  msg.has_trace = true;
+  msg.trace_hi = 0x0123456789abcdefULL;
+  msg.trace_lo = 0xfedcba9876543210ULL;
+  msg.parent_span = 0xdeadbeefcafef00dULL;
+
+  const auto bytes = encode_train_request(msg);
+  TrainRequestMsg untraced = msg;
+  untraced.has_trace = false;
+  const auto base = encode_train_request(untraced);
+  ASSERT_EQ(bytes.size(), base.size() + 24)
+      << "trace field must be exactly 24 trailing bytes";
+
+  Result<TrainRequestMsg> back = decode_train_request(bytes);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_TRUE(back.value().has_trace);
+  EXPECT_EQ(back.value().trace_hi, msg.trace_hi);
+  EXPECT_EQ(back.value().trace_lo, msg.trace_lo);
+  EXPECT_EQ(back.value().parent_span, msg.parent_span);
+  EXPECT_EQ(back.value().client_ids, msg.client_ids);
+  EXPECT_EQ(back.value().weights_blob, msg.weights_blob);
+
+  // Every truncation of the traced encoding fails — except the one
+  // prefix that IS the complete untraced message, which must decode as
+  // exactly that (the compatibility pivot, not a parse accident).
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(len));
+    Result<TrainRequestMsg> r = decode_train_request(prefix);
+    if (len == base.size()) {
+      ASSERT_TRUE(r.ok());
+      EXPECT_FALSE(r.value().has_trace);
+    } else {
+      EXPECT_FALSE(r.ok()) << "prefix of length " << len << " accepted";
+    }
+  }
+}
+
+TEST(NetFrame, FlagsByteRoundTripsAndUnknownBitsAreIgnored) {
+  {
+    SocketPair pair = make_pair();
+    const std::vector<std::uint8_t> payload = {1, 2};
+    ASSERT_TRUE(write_frame(pair.client, MsgType::kHello, payload,
+                            kFrameFlagTraceContext));
+    Frame frame;
+    ASSERT_EQ(read_frame(pair.server, frame), FrameStatus::kOk);
+    EXPECT_EQ(frame.flags, kFrameFlagTraceContext);
+    EXPECT_EQ(frame.payload, payload);
+  }
+  {
+    // Default write leaves the byte 0 — the pre-flags wire value.
+    SocketPair pair = make_pair();
+    ASSERT_TRUE(write_frame(pair.client, MsgType::kHello, nullptr, 0));
+    Frame frame;
+    ASSERT_EQ(read_frame(pair.server, frame), FrameStatus::kOk);
+    EXPECT_EQ(frame.flags, 0);
+  }
+  {
+    // Unknown capability bits from a future peer are surfaced, never a
+    // framing error.
+    SocketPair pair = make_pair();
+    auto h = raw_header(kFrameMagic, kProtocolVersion,
+                        static_cast<std::uint8_t>(MsgType::kHello), 0);
+    h[6] = 0xaa;
+    ASSERT_TRUE(pair.client.send_all(h.data(), h.size()));
+    Frame frame;
+    ASSERT_EQ(read_frame(pair.server, frame), FrameStatus::kOk);
+    EXPECT_EQ(frame.flags, 0xaa);
+  }
+}
+
 TEST(NetWire, UpdateAndTrainErrorRoundTrip) {
   UpdateMsg u;
   u.client_id = 11;
@@ -310,6 +423,135 @@ TEST(NetServing, EndToEndBitwiseParityWithInProcessEngine) {
   EXPECT_EQ(fl::serialize_tensor_list(report.final_weights),
             fl::serialize_tensor_list(in_process.final_weights))
       << "socket path diverged from the in-process sync engine";
+}
+
+// Collects every span event the registry emits during a run. write()
+// is called under the registry's sink lock, so no extra locking.
+class SpanCollector final : public telemetry::Sink {
+ public:
+  explicit SpanCollector(std::vector<telemetry::Event>* out) : out_(out) {}
+  void write(const telemetry::Event& event) override {
+    if (event.kind == telemetry::Event::Kind::kSpan) out_->push_back(event);
+  }
+
+ private:
+  std::vector<telemetry::Event>* out_;
+};
+
+TEST(NetServing, TraceContextPropagatesEndToEndWithZeroOrphans) {
+  const ExperimentDescriptor d = sample_descriptor();
+  ServingOptions options;
+  options.num_workers = 2;
+  Result<std::unique_ptr<ServingServer>> server =
+      ServingServer::create(d, options);
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  telemetry::Registry& reg = telemetry::global_registry();
+  reg.clear_sinks();
+  std::vector<telemetry::Event> spans;
+  reg.add_sink(std::make_unique<SpanCollector>(&spans));
+  ServingReport report = run_with_workers(*server.value(), 2);
+  reg.clear_sinks();
+  ASSERT_TRUE(report.ok) << report.error;
+
+  // Index the traced spans: every round's spans (server- and
+  // worker-side alike) must carry the deterministic (seed, round)
+  // trace id, and every parent id must resolve — zero orphans.
+  std::unordered_set<std::uint64_t> span_ids;
+  std::int64_t traced = 0, client_round_spans = 0;
+  for (const telemetry::Event& e : spans) {
+    if (e.span_id != 0) span_ids.insert(e.span_id);
+  }
+  for (const telemetry::Event& e : spans) {
+    if (e.span_id == 0) continue;
+    ++traced;
+    ASSERT_GE(e.step, 0) << e.name;
+    const telemetry::TraceContext root =
+        telemetry::round_trace_root(d.seed, e.step);
+    EXPECT_EQ(e.trace_hi, root.trace_hi) << e.name << " @" << e.step;
+    EXPECT_EQ(e.trace_lo, root.trace_lo) << e.name << " @" << e.step;
+    if (e.parent_span != 0) {
+      EXPECT_TRUE(span_ids.count(e.parent_span))
+          << "orphan span " << e.name << " @" << e.step;
+    }
+    if (e.name == "fl.client.round") {
+      ++client_round_spans;
+      // The worker adopted the context off the wire: its parent is the
+      // server's round span, flagged remote.
+      EXPECT_TRUE(e.parent_remote);
+      EXPECT_NE(e.parent_span, 0u);
+    }
+  }
+  EXPECT_GT(traced, 0);
+  EXPECT_GT(client_round_spans, 0)
+      << "no worker-side spans joined the server's traces";
+}
+
+// A worker that never advertises the trace capability (Hello flags 0 —
+// what a pre-tracing build sends) must interoperate: the server
+// withholds the trailing trace field its old decoder would reject.
+TEST(NetServing, OldWorkerWithoutTraceCapabilityInteroperates) {
+  const ExperimentDescriptor d = sample_descriptor();
+  ServingOptions options;
+  options.num_workers = 1;
+  Result<std::unique_ptr<ServingServer>> server =
+      ServingServer::create(d, options);
+  ASSERT_TRUE(server.ok()) << server.error();
+  const int port = server.value()->port();
+
+  std::atomic<int> requests{0};
+  std::atomic<int> traced_requests{0};
+  std::atomic<int> welcome_flags{-1};
+  std::thread old_worker([&] {
+    Result<TcpConn> conn = TcpConn::connect("127.0.0.1", port, 5000);
+    if (!conn.ok()) return;
+    HelloMsg hello;
+    hello.worker_index = 0;
+    hello.num_workers = 1;
+    if (!write_frame(conn.value(), MsgType::kHello, encode_hello(hello))) {
+      return;  // default flags = 0: no capabilities advertised
+    }
+    Frame frame;
+    if (read_frame(conn.value(), frame, kDefaultMaxPayload, 5000) !=
+            FrameStatus::kOk ||
+        frame.type != MsgType::kWelcome) {
+      return;
+    }
+    welcome_flags.store(frame.flags);
+    for (;;) {
+      if (read_frame(conn.value(), frame, kDefaultMaxPayload, 30000) !=
+          FrameStatus::kOk) {
+        return;
+      }
+      if (frame.type == MsgType::kBye) return;
+      if (frame.type != MsgType::kTrainRequest) return;
+      Result<TrainRequestMsg> req = decode_train_request(frame.payload);
+      if (!req.ok()) return;
+      ++requests;
+      if (req.value().has_trace) ++traced_requests;
+      // An old worker can't train here (no shared registry state in
+      // this stub); reporting per-client errors still exercises the
+      // full round loop.
+      for (std::int64_t ci : req.value().client_ids) {
+        TrainErrorMsg err;
+        err.client_id = ci;
+        err.message = "stub worker";
+        if (!write_frame(conn.value(), MsgType::kTrainError,
+                         encode_train_error(err))) {
+          return;
+        }
+      }
+    }
+  });
+
+  ServingReport report = server.value()->run();
+  old_worker.join();
+  ASSERT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(welcome_flags.load(), 0)
+      << "server echoed a capability the worker never advertised";
+  EXPECT_GT(requests.load(), 0);
+  EXPECT_EQ(traced_requests.load(), 0)
+      << "server sent the trace field to a non-advertising worker";
 }
 
 TEST(NetServing, SurvivesMalformedAndSurplusConnections) {

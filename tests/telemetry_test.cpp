@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -159,6 +161,251 @@ TEST(TelemetryJsonl, RoundTripsThroughTheJsonParser) {
   EXPECT_EQ(docs[3].find("type")->as_string(), "log");
   EXPECT_EQ(docs[3].find("level")->as_string(), "WARN");
   EXPECT_EQ(docs[3].find("message")->as_string(), "something \"quoted\"\n");
+}
+
+// Trace identity: nested SpanTimers under a TraceScope share a trace
+// id and form a parent chain, with the start/end anchors the Chrome
+// exporter needs.
+TEST(TelemetryTrace, NestedSpansCarryTraceAndParentIds) {
+  std::ostringstream out;
+  Registry registry;
+  registry.add_sink(std::make_unique<JsonlSink>(&out));
+  {
+    TraceScope scope(round_trace_root(42, 7));
+    SpanTimer outer(registry, "test.round", {}, 7);
+    ASSERT_TRUE(outer.context().valid());
+    { SpanTimer inner(registry, "test.phase", {{"phase", "x"}}, 7); }
+  }
+  registry.flush_sinks();
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::vector<json::Value> spans;
+  while (std::getline(in, line)) {
+    json::Value v;
+    ASSERT_TRUE(json::parse(line, v));
+    if (v.find("type")->as_string() == "span") spans.push_back(std::move(v));
+  }
+  ASSERT_EQ(spans.size(), 2u);
+  // RAII close order: the inner span is emitted first.
+  const json::Value& inner = spans[0];
+  const json::Value& outer = spans[1];
+  EXPECT_EQ(inner.find("name")->as_string(), "test.phase");
+  EXPECT_EQ(outer.find("name")->as_string(), "test.round");
+  const std::string trace = outer.find("trace")->as_string();
+  EXPECT_EQ(trace.size(), 32u);
+  EXPECT_EQ(inner.find("trace")->as_string(), trace);
+  // The round span is the trace root; the phase span parents under it.
+  EXPECT_EQ(outer.find("parent"), nullptr);
+  EXPECT_EQ(inner.find("parent")->as_string(),
+            outer.find("span")->as_string());
+  EXPECT_NE(inner.find("span")->as_string(), outer.find("span")->as_string());
+  // start + duration is consistent with the emit-time anchor.
+  for (const json::Value* s : {&inner, &outer}) {
+    EXPECT_LE(s->find("start_ms")->as_double(), s->find("t_ms")->as_double());
+    EXPECT_GE(s->find("dur_ms")->as_double(), 0.0);
+  }
+}
+
+// Outside any TraceScope the span event must serialize exactly as it
+// did before tracing existed: no trace/span/parent/start_ms fields.
+TEST(TelemetryTrace, UntracedSpansCarryNoTraceFields) {
+  std::ostringstream out;
+  Registry registry;
+  registry.add_sink(std::make_unique<JsonlSink>(&out));
+  { SpanTimer span(registry, "test.span", {}, 0); }
+  registry.flush_sinks();
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);  // meta
+  std::getline(in, line);  // the span
+  json::Value v;
+  ASSERT_TRUE(json::parse(line, v));
+  EXPECT_EQ(v.find("type")->as_string(), "span");
+  EXPECT_EQ(v.find("trace"), nullptr);
+  EXPECT_EQ(v.find("span"), nullptr);
+  EXPECT_EQ(v.find("parent"), nullptr);
+  EXPECT_EQ(v.find("start_ms"), nullptr);
+}
+
+TEST(TelemetryTrace, RoundTraceRootIsDeterministicPerSeedAndRound) {
+  const TraceContext a = round_trace_root(97, 3);
+  const TraceContext b = round_trace_root(97, 3);
+  EXPECT_EQ(a.trace_hi, b.trace_hi);
+  EXPECT_EQ(a.trace_lo, b.trace_lo);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.span_id, 0u);
+  const TraceContext c = round_trace_root(97, 4);
+  EXPECT_FALSE(c.trace_hi == a.trace_hi && c.trace_lo == a.trace_lo);
+  const TraceContext d = round_trace_root(98, 3);
+  EXPECT_FALSE(d.trace_hi == a.trace_hi && d.trace_lo == a.trace_lo);
+}
+
+// A context adopted from another process (TraceContext::remote, the
+// wire path) marks only the directly-adopting span's parent as remote;
+// grandchildren have locally-resolvable parents.
+TEST(TelemetryTrace, RemoteAdoptionFlagsOnlyTheDirectChildParent) {
+  std::ostringstream out;
+  Registry registry;
+  registry.add_sink(std::make_unique<JsonlSink>(&out));
+  TraceContext wire = round_trace_root(5, 0);
+  wire.span_id = next_span_id();  // the (remote) server round span
+  wire.remote = true;
+  {
+    TraceScope scope(wire);
+    SpanTimer child(registry, "test.client.round", {}, 0);
+    { SpanTimer grandchild(registry, "test.client.phase", {}, 0); }
+  }
+  registry.flush_sinks();
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::vector<json::Value> spans;
+  while (std::getline(in, line)) {
+    json::Value v;
+    ASSERT_TRUE(json::parse(line, v));
+    if (v.find("type")->as_string() == "span") spans.push_back(std::move(v));
+  }
+  ASSERT_EQ(spans.size(), 2u);
+  const json::Value& grandchild = spans[0];
+  const json::Value& child = spans[1];
+  EXPECT_NE(child.find("parent_remote"), nullptr);
+  EXPECT_TRUE(child.find("parent_remote")->as_bool());
+  EXPECT_EQ(grandchild.find("parent_remote"), nullptr);
+  EXPECT_EQ(grandchild.find("parent")->as_string(),
+            child.find("span")->as_string());
+}
+
+// Pool workers adopting one round context emit concurrently into the
+// same sink; every span must land with the shared trace id and the
+// round span as parent, race-free (this test runs under TSan in CI).
+TEST(TelemetryTrace, ConcurrentSpanEmissionFromPoolWorkers) {
+  std::ostringstream out;
+  Registry registry;
+  registry.add_sink(std::make_unique<JsonlSink>(&out));
+  std::string root_span_hex;
+  {
+    TraceScope scope(round_trace_root(11, 0));
+    SpanTimer round(registry, "test.round", {}, 0);
+    const TraceContext ctx = round.context();
+    constexpr std::size_t kTasks = 32;
+    compute_pool().parallel_for(kTasks, [&](std::size_t i) {
+      TraceScope adopt(ctx);
+      SpanTimer span(registry, "test.work", {}, static_cast<std::int64_t>(i));
+    });
+  }
+  registry.flush_sinks();
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::string trace;
+  std::string round_span;
+  std::size_t workers = 0;
+  std::vector<std::string> worker_parents;
+  while (std::getline(in, line)) {
+    json::Value v;
+    ASSERT_TRUE(json::parse(line, v));
+    if (v.find("type")->as_string() != "span") continue;
+    if (v.find("name")->as_string() == "test.round") {
+      round_span = v.find("span")->as_string();
+      trace = v.find("trace")->as_string();
+    } else {
+      ++workers;
+      worker_parents.push_back(v.find("parent")->as_string());
+    }
+  }
+  EXPECT_EQ(workers, 32u);
+  ASSERT_FALSE(round_span.empty());
+  for (const std::string& p : worker_parents) EXPECT_EQ(p, round_span);
+}
+
+// The Chrome exporter writes a complete, parseable trace-event JSON
+// document whose timestamps are wall-clock anchored.
+TEST(TelemetryChromeTrace, WritesCompleteTraceEventJson) {
+  const std::string path =
+      ::testing::TempDir() + "/fedcl_chrome_trace_test.json";
+  Registry registry;
+  auto sink = std::make_unique<ChromeTraceSink>(path, "unit-test",
+                                                registry.wall_epoch_unix_ms());
+  ASSERT_TRUE(sink->ok());
+  registry.add_sink(std::move(sink));
+  {
+    TraceScope scope(round_trace_root(1, 0));
+    SpanTimer round(registry, "test.round", {{"k", "v"}}, 0);
+    { SpanTimer phase(registry, "test.phase", {}, 0); }
+  }
+  registry.flush_sinks();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(buf.str(), doc, &error)) << error;
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // process_name metadata + 2 spans.
+  ASSERT_EQ(events->size(), 3u);
+  EXPECT_EQ(events->at(0).find("ph")->as_string(), "M");
+  EXPECT_EQ(events->at(0).find("args")->find("name")->as_string(),
+            "unit-test");
+  std::string trace_id;
+  for (std::size_t i = 1; i < events->size(); ++i) {
+    const json::Value& e = events->at(i);
+    EXPECT_EQ(e.find("ph")->as_string(), "X");
+    EXPECT_GE(e.find("dur")->as_double(), 0.0);
+    // Anchored to the unix epoch: far beyond any registry-relative ms.
+    EXPECT_GT(e.find("ts")->as_double(),
+              registry.wall_epoch_unix_ms() * 1000.0 - 1.0);
+    const json::Value* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    if (trace_id.empty()) {
+      trace_id = args->find("trace")->as_string();
+    } else {
+      EXPECT_EQ(args->find("trace")->as_string(), trace_id);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// Repeated flushes append in place: after every flush the file is a
+// complete, parseable document, earlier events are never lost or
+// duplicated, and a clean (non-dirty) flush leaves the file untouched.
+TEST(TelemetryChromeTrace, RepeatedFlushesAppendWithoutDuplication) {
+  const std::string path =
+      ::testing::TempDir() + "/fedcl_chrome_trace_incremental.json";
+  Registry registry;
+  auto sink = std::make_unique<ChromeTraceSink>(path, "unit-test",
+                                                registry.wall_epoch_unix_ms());
+  ASSERT_TRUE(sink->ok());
+  registry.add_sink(std::move(sink));
+  auto parse_file = [&](json::Value& doc) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    ASSERT_TRUE(json::parse(buf.str(), doc, &error)) << error;
+  };
+  for (int round = 0; round < 3; ++round) {
+    {
+      TraceScope scope(round_trace_root(7, round));
+      SpanTimer span(registry, "test.round", {}, round);
+    }
+    registry.flush_sinks();
+    json::Value doc;
+    parse_file(doc);
+    // process_name metadata + one span per flushed round.
+    ASSERT_EQ(doc.find("traceEvents")->size(),
+              static_cast<std::size_t>(2 + round));
+  }
+  registry.flush_sinks();  // nothing pending: must not disturb the file
+  json::Value doc;
+  parse_file(doc);
+  EXPECT_EQ(doc.find("traceEvents")->size(), 4u);
+  std::remove(path.c_str());
 }
 
 TEST(TelemetrySpan, ObservesDurationHistogram) {

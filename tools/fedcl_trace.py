@@ -1,0 +1,381 @@
+#!/usr/bin/env python3
+"""Work with --trace-out Chrome trace-event JSON files (stdlib only).
+
+The C++ stack's ChromeTraceSink (src/common/telemetry.h) writes one
+"X" complete event per span, wall-clock anchored so files captured by
+separate processes (fedcl_server + fedcl_client workers) merge onto a
+single timeline. Span identity travels in args: "trace" (32-hex
+128-bit trace id, one per federated round), "span" (16-hex span id),
+"parent" (16-hex parent span id, absent for trace roots), and
+"parent_remote": true when the parent span was emitted by another
+process (propagated over the wire, docs/PROTOCOL.md §3.4).
+
+Subcommands:
+  validate FILE...      structural checks + orphan detection across all
+                        given files together. An orphan is a span whose
+                        parent id is nowhere in the input; spans flagged
+                        parent_remote only count as orphans when their
+                        producer's file is part of the input (pass
+                        --allow-remote-orphans when validating a single
+                        process's file in isolation).
+  merge OUT IN...       merge trace files into one Perfetto-loadable doc.
+  report FILE           per-round critical paths: dominant phase, p50/p99
+                        per phase, straggler worker attribution, and
+                        (with --telemetry run.jsonl) retry/degradation
+                        overlays from the round ledger.
+  diff A B              compare per-phase p50 between two trace files.
+
+Exit status 0 on success; validate exits 1 on any structural error or
+orphan span. CI runs `validate` on the bench-smoke and serving-demo
+artifacts (docs/DEPLOYMENT.md shows the capture workflow).
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print("fedcl_trace: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def load_doc(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail("%s: cannot load: %s" % (path, e))
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        fail("%s: not a Chrome trace document (no traceEvents array)" % path)
+    return doc
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def is_hex_id(v, digits):
+    return (
+        isinstance(v, str)
+        and len(v) == digits
+        and all(c in "0123456789abcdef" for c in v)
+        and v != "0" * digits
+    )
+
+
+def span_events(doc):
+    return [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+
+
+# ---------------------------------------------------------------------------
+# validate
+
+
+def check_event(path, i, e, errors):
+    where = "%s: traceEvents[%d]" % (path, i)
+    if not isinstance(e.get("name"), str) or not e["name"]:
+        errors.append("%s: missing span name" % where)
+    if not is_num(e.get("ts")):
+        errors.append("%s: 'ts' must be a number" % where)
+    if not is_num(e.get("dur")) or e.get("dur", -1) < 0:
+        # end < start on the wire becomes a negative dur here.
+        errors.append("%s: 'dur' must be a non-negative number" % where)
+    args = e.get("args")
+    if not isinstance(args, dict):
+        return
+    if "span" in args and not is_hex_id(args["span"], 16):
+        errors.append("%s: args.span must be 16 lowercase hex digits" % where)
+    if "parent" in args and not is_hex_id(args["parent"], 16):
+        errors.append("%s: args.parent must be 16 lowercase hex" % where)
+    if "trace" in args and not is_hex_id(args["trace"], 32):
+        errors.append("%s: args.trace must be 32 lowercase hex" % where)
+    if "parent" in args and "span" not in args:
+        errors.append("%s: args.parent without args.span" % where)
+    if "span" in args and "trace" not in args:
+        errors.append("%s: args.span without args.trace" % where)
+
+
+def cmd_validate(args):
+    errors = []
+    all_spans = []  # (path, event) for traced X events
+    span_ids = set()
+    total_events = 0
+    for path in args.files:
+        doc = load_doc(path)
+        for i, e in enumerate(doc["traceEvents"]):
+            if not isinstance(e, dict):
+                errors.append("%s: traceEvents[%d] is not an object"
+                              % (path, i))
+                continue
+            if e.get("ph") != "X":
+                continue
+            total_events += 1
+            check_event(path, i, e, errors)
+            a = e.get("args")
+            if isinstance(a, dict) and is_hex_id(a.get("span", ""), 16):
+                if a["span"] in span_ids:
+                    errors.append("%s: duplicate span id %s"
+                                  % (path, a["span"]))
+                span_ids.add(a["span"])
+                all_spans.append((path, e))
+
+    orphans = 0
+    remote_skipped = 0
+    for path, e in all_spans:
+        a = e["args"]
+        parent = a.get("parent")
+        if parent is None or parent in span_ids:
+            continue
+        if a.get("parent_remote") and args.allow_remote_orphans:
+            remote_skipped += 1
+            continue
+        orphans += 1
+        errors.append(
+            "%s: orphan span %s (%s): parent %s never emitted"
+            % (path, a["span"], e.get("name"), parent)
+        )
+
+    for name in args.require_span:
+        if not any(e.get("name") == name for _, e in all_spans):
+            errors.append("required traced span %r never emitted" % name)
+
+    if errors:
+        for error in errors:
+            print("fedcl_trace: %s" % error, file=sys.stderr)
+        return 1
+    note = (
+        " (%d cross-process parents skipped)" % remote_skipped
+        if remote_skipped
+        else ""
+    )
+    print(
+        "fedcl_trace: OK — %d span events, %d traced, 0 orphans%s"
+        % (total_events, len(all_spans), note)
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# merge
+
+
+def cmd_merge(args):
+    merged = {"traceEvents": [], "displayTimeUnit": "ms"}
+    for path in args.inputs:
+        doc = load_doc(path)
+        merged["traceEvents"].extend(doc["traceEvents"])
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(merged, f)
+        f.write("\n")
+    print(
+        "fedcl_trace: merged %d files -> %s (%d events)"
+        % (len(args.inputs), args.out, len(merged["traceEvents"]))
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# report
+
+
+def phase_key(e):
+    """A stable per-phase bucket: span name plus the discriminating label."""
+    a = e.get("args", {})
+    name = e.get("name", "?")
+    if name in ("fl.phase", "fl.client.phase"):
+        return "%s{%s}" % (name, a.get("phase", "?"))
+    if name == "dp.sanitize":
+        return "dp.sanitize{%s}" % a.get("stage", "?")
+    return name
+
+
+def percentile(sorted_vals, q):
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(q * (len(sorted_vals) - 1) + 0.5))
+    return sorted_vals[idx]
+
+
+def collect_rounds(doc):
+    """Group traced spans by round: {step: [events]}."""
+    rounds = {}
+    for e in span_events(doc):
+        a = e.get("args", {})
+        if "trace" not in a or "step" not in a:
+            continue
+        rounds.setdefault(a["step"], []).append(e)
+    return rounds
+
+
+def load_overlays(path):
+    """Round -> ledger overlay from a --telemetry-out JSONL file."""
+    overlay = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if ev.get("type") != "point" or "step" not in ev:
+                continue
+            name = ev.get("name", "")
+            if name in (
+                "fl.round.accepted",
+                "fl.round.rejected",
+                "fl.round.noise_widening",
+            ):
+                overlay.setdefault(ev["step"], {})[name] = ev.get("value")
+    return overlay
+
+
+def cmd_report(args):
+    doc = load_doc(args.file)
+    rounds = collect_rounds(doc)
+    if not rounds:
+        fail("%s holds no traced, stepped spans — was the run traced?"
+             % args.file)
+    overlay = load_overlays(args.telemetry) if args.telemetry else {}
+
+    phase_durs = {}
+    print("per-round critical path:")
+    for step in sorted(rounds):
+        events = rounds[step]
+        by_phase = {}
+        for e in events:
+            key = phase_key(e)
+            by_phase[key] = by_phase.get(key, 0.0) + e.get("dur", 0.0) / 1000.0
+            phase_durs.setdefault(key, []).append(e.get("dur", 0.0) / 1000.0)
+        round_total = by_phase.pop("fl.round", 0.0)
+        dominant = max(by_phase.items(), key=lambda kv: kv[1], default=("-", 0))
+
+        # Straggler attribution: the worker whose fl.client.round span
+        # ran longest this round held the round open.
+        straggler = ""
+        worker_ms = {}
+        for e in events:
+            if e.get("name") == "fl.client.round":
+                w = e.get("args", {}).get("worker", "?")
+                worker_ms[w] = max(
+                    worker_ms.get(w, 0.0), e.get("dur", 0.0) / 1000.0
+                )
+        if worker_ms:
+            slowest = max(worker_ms.items(), key=lambda kv: kv[1])
+            straggler = " | slowest worker %s (%.2f ms)" % slowest
+
+        note = ""
+        ov = overlay.get(step)
+        if ov:
+            note = " | accepted=%s rejected=%s" % (
+                ov.get("fl.round.accepted", "?"),
+                ov.get("fl.round.rejected", "?"),
+            )
+            if "fl.round.noise_widening" in ov:
+                note += " DEGRADED(widening=%.2f)" % ov[
+                    "fl.round.noise_widening"
+                ]
+        print(
+            "  round %-4d %8.2f ms | dominant %s (%.2f ms)%s%s"
+            % (step, round_total, dominant[0], dominant[1], straggler, note)
+        )
+
+    print("per-phase latency across rounds:")
+    for key in sorted(phase_durs):
+        vals = sorted(phase_durs[key])
+        print(
+            "  %-28s n=%-5d p50=%8.3f ms  p99=%8.3f ms  total=%9.2f ms"
+            % (
+                key,
+                len(vals),
+                percentile(vals, 0.50),
+                percentile(vals, 0.99),
+                sum(vals),
+            )
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# diff
+
+
+def phase_p50(doc):
+    durs = {}
+    for e in span_events(doc):
+        durs.setdefault(phase_key(e), []).append(e.get("dur", 0.0) / 1000.0)
+    return {k: percentile(sorted(v), 0.5) for k, v in durs.items()}
+
+
+def cmd_diff(args):
+    a = phase_p50(load_doc(args.a))
+    b = phase_p50(load_doc(args.b))
+    print("%-28s %12s %12s %10s" % ("phase (p50 ms)", args.a[-12:],
+                                    args.b[-12:], "delta"))
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if va is None or vb is None:
+            print("%-28s %12s %12s %10s"
+                  % (key,
+                     "%.3f" % va if va is not None else "-",
+                     "%.3f" % vb if vb is not None else "-",
+                     "only one side"))
+            continue
+        delta = vb - va
+        pct = " (%+.0f%%)" % (100.0 * delta / va) if va > 0 else ""
+        print("%-28s %12.3f %12.3f %+10.3f%s" % (key, va, vb, delta, pct))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="check structure and orphan spans")
+    p.add_argument("files", nargs="+")
+    p.add_argument(
+        "--allow-remote-orphans",
+        action="store_true",
+        help="skip spans whose parent lives in a file not given here",
+    )
+    p.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless a traced span with this name is present",
+    )
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("merge", help="merge trace files into one document")
+    p.add_argument("out")
+    p.add_argument("inputs", nargs="+")
+    p.set_defaults(func=cmd_merge)
+
+    p = sub.add_parser("report", help="per-round critical-path profile")
+    p.add_argument("file")
+    p.add_argument(
+        "--telemetry",
+        help="JSONL from --telemetry-out: adds accept/reject/degradation "
+        "overlays per round",
+    )
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("diff", help="compare per-phase p50 of two traces")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.set_defaults(func=cmd_diff)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

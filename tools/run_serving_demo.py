@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Three-process serving demo and parity check (stdlib only).
+"""Three-process serving demo, parity check, and trace check (stdlib only).
 
 Launches one fedcl_server and two fedcl_client worker processes over
 loopback TCP, waits for the run to complete, then re-runs the same
@@ -8,6 +8,12 @@ saved checkpoints. Passing means the documented contract of
 docs/PROTOCOL.md section 5 holds end to end: the multi-process socket
 path produces a BITWISE identical global model to the single-process
 sync engine at the same seed.
+
+All three serving processes also run with --trace-out; the per-process
+Chrome trace files are merged with tools/fedcl_trace.py and validated
+STRICTLY: every worker-side span must parent under its round's
+server-side span, with zero orphan spans in the merged trace — the
+cross-process trace-propagation contract of docs/PROTOCOL.md §3.4.
 
 Usage:
   run_serving_demo.py --server=PATH --client=PATH --simulator=PATH
@@ -19,6 +25,9 @@ import shutil
 import subprocess
 import sys
 import tempfile
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+FEDCL_TRACE = os.path.join(TOOLS_DIR, "fedcl_trace.py")
 
 ROUND_TIMEOUT_S = 180
 
@@ -60,8 +69,13 @@ def main():
     sim_ckpt = os.path.join(work, "sim.ckpt")
     procs = []
     try:
+        server_trace = os.path.join(work, "server_trace.json")
+        client_traces = [os.path.join(work, "client%d_trace.json" % w)
+                         for w in range(2)]
         server_cmd = [args.server, "--port=%d" % args.port, "--workers=2",
-                      "--save=%s" % net_ckpt] + experiment_flags(args.rounds)
+                      "--save=%s" % net_ckpt,
+                      "--trace-out=%s" % server_trace] + \
+            experiment_flags(args.rounds)
         print("+ %s" % " ".join(server_cmd))
         server = subprocess.Popen(server_cmd, stdout=subprocess.PIPE,
                                   stderr=subprocess.STDOUT, text=True,
@@ -86,7 +100,7 @@ def main():
         clients = []
         for w in range(2):
             cmd = [args.client, "--port=%d" % port, "--worker-index=%d" % w,
-                   "--workers=2"]
+                   "--workers=2", "--trace-out=%s" % client_traces[w]]
             print("+ %s" % " ".join(cmd))
             clients.append(subprocess.Popen(cmd, stdout=subprocess.PIPE,
                                             stderr=subprocess.STDOUT,
@@ -111,7 +125,29 @@ def main():
         if not os.path.exists(net_ckpt):
             fail("server did not write %s" % net_ckpt)
 
-        sim_cmd = [args.simulator, "--save=%s" % sim_ckpt] + \
+        # One merged Chrome trace from the three serving processes —
+        # then the strict zero-orphan check: every client span's parent
+        # chain must resolve to the server's per-round span tree.
+        merged_trace = os.path.join(work, "merged_trace.json")
+        for step in (
+            [sys.executable, FEDCL_TRACE, "merge", merged_trace,
+             server_trace] + client_traces,
+            [sys.executable, FEDCL_TRACE, "validate", merged_trace,
+             "--require-span=fl.round", "--require-span=fl.client.round",
+             "--require-span=fl.phase", "--require-span=fl.net.recv"],
+        ):
+            print("+ %s" % " ".join(step))
+            trace_check = subprocess.run(step, stdout=subprocess.PIPE,
+                                         stderr=subprocess.STDOUT, text=True,
+                                         timeout=60)
+            sys.stdout.write(trace_check.stdout)
+            if trace_check.returncode != 0:
+                fail("merged trace failed validation — cross-process span "
+                     "propagation is broken")
+
+        sim_trace = os.path.join(work, "sim_trace.json")
+        sim_cmd = [args.simulator, "--save=%s" % sim_ckpt,
+                   "--trace-out=%s" % sim_trace] + \
             experiment_flags(args.rounds)
         print("+ %s" % " ".join(sim_cmd))
         sim = subprocess.run(sim_cmd, stdout=subprocess.PIPE,
@@ -129,8 +165,20 @@ def main():
             fail("checkpoints differ (%d vs %d bytes) — the socket path "
                  "diverged from the in-process engine"
                  % (len(net_bytes), len(sim_bytes)))
+
+        # The simulator's single-process trace must also stand alone.
+        sim_check = subprocess.run(
+            [sys.executable, FEDCL_TRACE, "validate", sim_trace,
+             "--require-span=fl.round"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            timeout=60)
+        sys.stdout.write(sim_check.stdout)
+        if sim_check.returncode != 0:
+            fail("fl_simulator trace failed validation")
+
         print("run_serving_demo: PASS — %d rounds over TCP, checkpoint is "
-              "bitwise identical to the in-process engine (%d bytes)"
+              "bitwise identical to the in-process engine (%d bytes), "
+              "merged 3-process trace has zero orphan spans"
               % (args.rounds, len(net_bytes)))
     finally:
         for p in procs:

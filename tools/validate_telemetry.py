@@ -25,6 +25,43 @@ def is_num(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
 
 
+def is_hex_id(v, digits):
+    """Fixed-width lowercase-hex id (u64s travel as strings: JSON
+    numbers are doubles and cannot carry 64-bit ids losslessly)."""
+    return (
+        isinstance(v, str)
+        and len(v) == digits
+        and all(c in "0123456789abcdef" for c in v)
+        and v != "0" * digits
+    )
+
+
+def check_span_trace(event, errors):
+    """Optional distributed-tracing fields on span events: either all
+    absent (untraced span, the pre-trace byte format) or 'trace' +
+    'span' + 'start_ms' present with 'parent' optional."""
+    keys = ("trace", "span", "parent", "parent_remote", "start_ms")
+    present = [k for k in keys if k in event]
+    if not present:
+        return
+    if not is_hex_id(event.get("trace", ""), 32):
+        errors.append("'trace' must be 32 lowercase hex digits")
+    if not is_hex_id(event.get("span", ""), 16):
+        errors.append("'span' must be 16 lowercase hex digits")
+    if "parent" in event and not is_hex_id(event["parent"], 16):
+        errors.append("'parent' must be 16 lowercase hex digits")
+    if "parent_remote" in event:
+        if event["parent_remote"] is not True:
+            errors.append("'parent_remote' must be true when present")
+        if "parent" not in event:
+            errors.append("'parent_remote' without 'parent'")
+    if not is_num(event.get("start_ms")) or event.get("start_ms", -1) < 0:
+        errors.append("traced span needs a non-negative 'start_ms'")
+    elif is_num(event.get("t_ms")) and event["start_ms"] > event["t_ms"]:
+        # t_ms is the span END (emit time): end < start is corrupt.
+        errors.append("span ends before it starts (start_ms > t_ms)")
+
+
 def check_labels(event, errors):
     labels = event.get("labels")
     if labels is None:
@@ -95,6 +132,7 @@ def validate_event(event):
         check_common(event, errors)
         if not is_num(event.get("dur_ms")) or event["dur_ms"] < 0:
             errors.append("'dur_ms' must be a non-negative number")
+        check_span_trace(event, errors)
     elif kind == "point":
         check_common(event, errors)
         if not is_num(event.get("value")):
@@ -125,6 +163,10 @@ def main():
 
     failures = []
     seen_names = set()
+    span_ids = set()
+    # (lineno, name, parent): resolved only at EOF — a parent span's
+    # event is emitted when it CLOSES, i.e. after all its children.
+    parent_refs = []
     counts = {"meta": 0, "span": 0, "point": 0, "log": 0}
     with open(args.path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, start=1):
@@ -150,6 +192,22 @@ def main():
             counts[kind] = counts.get(kind, 0) + 1
             if kind in ("span", "point"):
                 seen_names.add(event["name"])
+            if kind == "span" and "span" in event:
+                span_ids.add(event["span"])
+                # A parent adopted from another process (parent_remote)
+                # is legitimately absent from this single file; the
+                # merged-trace check is fedcl_trace.py's job.
+                if "parent" in event and not event.get("parent_remote"):
+                    parent_refs.append(
+                        (lineno, event.get("name", "?"), event["parent"])
+                    )
+
+    for lineno, name, parent in parent_refs:
+        if parent not in span_ids:
+            failures.append(
+                (lineno, ["span %r parents under %s, never emitted"
+                          % (name, parent)])
+            )
 
     total = sum(counts.values())
     if total == 0:
