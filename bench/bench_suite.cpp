@@ -34,7 +34,7 @@ using fedcl::json::Value;
 const std::vector<std::string> kSuite = {
     "table1_datasets", "table2_accuracy", "table6_privacy",
     "fig3_gradnorm",   "ext_faults",      "ext_async",
-    "ext_serving",     "perf_hotpath",
+    "ext_serving",     "ext_scale",       "perf_hotpath",
 };
 
 bool read_file(const std::string& path, std::string* out) {

@@ -154,7 +154,9 @@ inline FlagParser init_bench(int argc, char** argv) {
 //   "ratio"    — machine-portable speedups/fractions,
 //   "accuracy" — model quality,
 //   "epsilon"  — privacy accounting (deterministic),
-//   "count"    — integer totals (rounds completed, successes).
+//   "count"    — integer totals (rounds completed, successes),
+//   "memory"   — peak resident set (portable across comparable
+//                builds; diffed with its own ceiling-style threshold).
 inline void add_metric(json::Value& doc, const std::string& name,
                        double value, const std::string& better,
                        const std::string& cls) {

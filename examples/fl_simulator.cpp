@@ -81,6 +81,10 @@ void print_usage(const char* program) {
       "          [--max-staleness=S] [--retry-attempts=N]\n"
       "          [--retry-backoff-ms=B] [--soft-deadline-ms=D]\n"
       "          [--reduced-quorum=N]\n"
+      "          [--streaming]  (bounded-memory streaming/tree aggregation "
+      "for virtualized scale)\n"
+      "          [--tree-fan-out=F]  (edge-aggregator fan-out, power of "
+      "two; default 64)\n"
       "          [--telemetry-out=FILE.jsonl] [--telemetry-prom=FILE.prom]\n"
       "          [--trace-out=FILE.json]  (Chrome trace-event JSON; open "
       "in Perfetto)\n"
@@ -182,6 +186,8 @@ int run_simulator(const FlagParser& flags) {
   config.retry.soft_deadline_ms =
       flags.get_double("soft-deadline-ms", 100.0);
   config.reduced_min_reporting = flags.get_int("reduced-quorum", 0);
+  config.streaming_aggregation = flags.get_bool("streaming", false);
+  config.tree_fan_out = flags.get_int("tree-fan-out", 64);
 
   const double sigma =
       flags.get_double("sigma", data::default_noise_scale());
@@ -266,6 +272,12 @@ int run_simulator(const FlagParser& flags) {
                               1, config.clients_per_round / 2)),
                 config.async.staleness_alpha,
                 static_cast<long long>(config.async.max_staleness));
+  }
+  if (config.streaming_aggregation) {
+    std::printf("streaming: fan-out %lld, max reducer occupancy %lld "
+                "levels (bound: log2 of the cohort)\n",
+                static_cast<long long>(config.tree_fan_out),
+                static_cast<long long>(result.max_stream_levels));
   }
 
   const std::string save_path = flags.get("save", "");

@@ -8,58 +8,75 @@
 
 namespace fedcl::data {
 
-std::vector<ClientData> partition(std::shared_ptr<const Dataset> base,
-                                  const PartitionSpec& spec, Rng& rng) {
-  FEDCL_CHECK(base != nullptr);
-  FEDCL_CHECK_GT(spec.num_clients, 0);
-  FEDCL_CHECK_GT(spec.data_per_client, 0);
+ShardPlan::ShardPlan(std::shared_ptr<const Dataset> base,
+                     const PartitionSpec& spec, const Rng& rng)
+    : base_(std::move(base)), spec_(spec), rng_(rng) {
+  FEDCL_CHECK(base_ != nullptr);
+  FEDCL_CHECK_GT(spec_.num_clients, 0);
+  FEDCL_CHECK_GT(spec_.data_per_client, 0);
 
-  std::vector<ClientData> clients;
-  clients.reserve(static_cast<std::size_t>(spec.num_clients));
-
-  if (spec.classes_per_client <= 0) {
+  if (spec_.classes_per_client <= 0) {
     // Full-copy mode: every client sees the entire dataset.
-    std::vector<std::int64_t> all(static_cast<std::size_t>(base->size()));
-    std::iota(all.begin(), all.end(), 0);
-    for (std::int64_t c = 0; c < spec.num_clients; ++c) {
-      clients.emplace_back(base, all);
-    }
-    return clients;
+    full_copy_.resize(static_cast<std::size_t>(base_->size()));
+    std::iota(full_copy_.begin(), full_copy_.end(), 0);
+    return;
   }
 
-  const std::int64_t z = base->num_classes();
-  FEDCL_CHECK_LE(spec.classes_per_client, z);
-  std::vector<std::vector<std::int64_t>> by_class(
-      static_cast<std::size_t>(z));
+  const std::int64_t z = base_->num_classes();
+  FEDCL_CHECK_LE(spec_.classes_per_client, z);
+  by_class_.resize(static_cast<std::size_t>(z));
   for (std::int64_t c = 0; c < z; ++c) {
-    by_class[static_cast<std::size_t>(c)] = base->indices_of_class(c);
-    FEDCL_CHECK(!by_class[static_cast<std::size_t>(c)].empty())
+    by_class_[static_cast<std::size_t>(c)] = base_->indices_of_class(c);
+    FEDCL_CHECK(!by_class_[static_cast<std::size_t>(c)].empty())
         << "class " << c << " has no examples";
   }
+}
 
-  for (std::int64_t k = 0; k < spec.num_clients; ++k) {
-    Rng crng = rng.fork("partition", static_cast<std::uint64_t>(k));
-    // Pick the client's classes without replacement.
-    std::vector<std::size_t> class_pick = crng.sample_without_replacement(
-        static_cast<std::size_t>(z),
-        static_cast<std::size_t>(spec.classes_per_client));
-    std::vector<std::int64_t> indices;
-    indices.reserve(static_cast<std::size_t>(spec.data_per_client));
-    const std::int64_t per_class =
-        spec.data_per_client / spec.classes_per_client;
-    std::int64_t remaining = spec.data_per_client;
-    for (std::size_t ci = 0; ci < class_pick.size(); ++ci) {
-      const auto& pool = by_class[class_pick[ci]];
-      const std::int64_t want =
-          (ci + 1 == class_pick.size()) ? remaining : per_class;
-      for (std::int64_t j = 0; j < want; ++j) {
-        const std::size_t pick = static_cast<std::size_t>(
-            crng.uniform_int(static_cast<std::uint64_t>(pool.size())));
-        indices.push_back(pool[pick]);
-      }
-      remaining -= want;
+std::int64_t ShardPlan::shard_size() const {
+  return spec_.classes_per_client <= 0 ? base_->size()
+                                       : spec_.data_per_client;
+}
+
+std::vector<std::int64_t> ShardPlan::indices_for(std::int64_t k) const {
+  FEDCL_CHECK_GE(k, 0);
+  FEDCL_CHECK_LT(k, spec_.num_clients);
+  if (spec_.classes_per_client <= 0) return full_copy_;
+
+  Rng crng = rng_.fork("partition", static_cast<std::uint64_t>(k));
+  // Pick the client's classes without replacement.
+  std::vector<std::size_t> class_pick = crng.sample_without_replacement(
+      static_cast<std::size_t>(base_->num_classes()),
+      static_cast<std::size_t>(spec_.classes_per_client));
+  std::vector<std::int64_t> indices;
+  indices.reserve(static_cast<std::size_t>(spec_.data_per_client));
+  const std::int64_t per_class =
+      spec_.data_per_client / spec_.classes_per_client;
+  std::int64_t remaining = spec_.data_per_client;
+  for (std::size_t ci = 0; ci < class_pick.size(); ++ci) {
+    const auto& pool = by_class_[class_pick[ci]];
+    const std::int64_t want =
+        (ci + 1 == class_pick.size()) ? remaining : per_class;
+    for (std::int64_t j = 0; j < want; ++j) {
+      const std::size_t pick = static_cast<std::size_t>(
+          crng.uniform_int(static_cast<std::uint64_t>(pool.size())));
+      indices.push_back(pool[pick]);
     }
-    clients.emplace_back(base, std::move(indices));
+    remaining -= want;
+  }
+  return indices;
+}
+
+ClientData ShardPlan::shard(std::int64_t k) const {
+  return ClientData(base_, indices_for(k));
+}
+
+std::vector<ClientData> partition(std::shared_ptr<const Dataset> base,
+                                  const PartitionSpec& spec, Rng& rng) {
+  const ShardPlan plan(std::move(base), spec, rng);
+  std::vector<ClientData> clients;
+  clients.reserve(static_cast<std::size_t>(spec.num_clients));
+  for (std::int64_t k = 0; k < spec.num_clients; ++k) {
+    clients.push_back(plan.shard(k));
   }
   return clients;
 }

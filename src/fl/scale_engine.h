@@ -1,0 +1,26 @@
+// Streaming round engine for virtualized federations at scale.
+//
+// Same synchronous semantics as the classic engine in fl/trainer.cpp —
+// per-round cohort sampling, fault planning, quorum tiers, one
+// resample-retry pass — but built for K in the millions: clients are
+// synthesized on demand (fl/virtual_client.h) and every accepted
+// update is screened, sanitized, and folded immediately into an
+// O(log K) binary-counter accumulator (fl/tree_aggregation.h) instead
+// of being buffered. Edge aggregators of `tree_fan_out` consecutive
+// cohort members reduce in parallel; their partials feed a root
+// reducer in block order, which keeps the whole reduction bitwise
+// identical to the flat pinned order (and therefore identical across
+// thread counts and, on fault-free rounds, across fan-outs).
+#pragma once
+
+#include "fl/trainer.h"
+
+namespace fedcl::fl {
+
+// Entry point used by run_experiment when
+// config.streaming_aggregation is set. Requires !config.async_mode and
+// a power-of-two config.tree_fan_out >= 2.
+FlRunResult run_streaming_experiment(const FlExperimentConfig& config,
+                                     const core::PrivacyPolicy& policy);
+
+}  // namespace fedcl::fl

@@ -99,6 +99,22 @@ AggregateOutcome Server::aggregate(std::vector<ClientUpdate> updates,
   return outcome;
 }
 
+void Server::apply_mean(const TensorList& mean_delta, std::int64_t accepted) {
+  if (options_.server_momentum > 0.0) {
+    if (velocity_.empty()) velocity_ = tensor::list::zeros_like(weights_);
+    tensor::list::scale_(velocity_,
+                         static_cast<float>(options_.server_momentum));
+    tensor::list::add_(velocity_, mean_delta, 1.0f);
+    tensor::list::add_(weights_, velocity_, 1.0f);
+  } else {
+    tensor::list::add_(weights_, mean_delta, 1.0f);
+  }
+  ++round_;
+  telemetry::global_registry()
+      .counter("fl.server.updates_accepted_total")
+      .add(accepted);
+}
+
 void Server::skip_round() {
   ++round_;
   telemetry::global_registry().counter("fl.server.rounds_skipped_total").add(1);

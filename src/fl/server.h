@@ -81,6 +81,14 @@ class Server {
                              const std::vector<double>* update_weights =
                                  nullptr);
 
+  // Applies an externally reduced mean delta (the streaming scale
+  // engine screens, sanitizes, and reduces updates as they arrive —
+  // see fl/scale_engine.h — and hands the server only the finished
+  // mean). Same momentum tail and round advance as aggregate();
+  // screening/quorum accounting stays with the caller, which also
+  // records the accepted count on fl.server.updates_accepted_total.
+  void apply_mean(const TensorList& mean_delta, std::int64_t accepted);
+
   // Advances the round without an update (e.g. every sampled client
   // dropped out — the unstable-availability case of [2]).
   void skip_round();

@@ -16,7 +16,9 @@
 #include "data/synthetic.h"
 #include "fl/client.h"
 #include "fl/compression.h"
+#include "fl/scale_engine.h"
 #include "fl/server.h"
+#include "fl/virtual_client.h"
 #include "nn/grad_utils.h"
 #include "nn/layers.h"
 #include "nn/model_zoo.h"
@@ -65,6 +67,9 @@ void count_injected_fault(RoundFailureStats& stats, FaultType fault) {
 
 FlRunResult run_experiment(const FlExperimentConfig& config,
                            const core::PrivacyPolicy& policy) {
+  if (config.streaming_aggregation) {
+    return run_streaming_experiment(config, policy);
+  }
   FEDCL_CHECK_GT(config.total_clients, 0);
   FEDCL_CHECK_GT(config.clients_per_round, 0);
   FEDCL_CHECK_LE(config.clients_per_round, config.total_clients);
@@ -87,20 +92,20 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
 
   data::PartitionSpec part = config.bench.partition;
   part.num_clients = config.total_clients;
-  std::vector<data::ClientData> shards =
-      data::partition(train, part, part_rng);
-
   LocalTrainConfig local{.local_iterations = local_iterations,
                          .batch_size = config.bench.batch_size,
                          .learning_rate = config.bench.learning_rate,
                          .lr_decay_per_round =
                              config.bench.lr_decay_per_round};
-  std::vector<Client> clients;
-  clients.reserve(shards.size());
-  for (std::size_t i = 0; i < shards.size(); ++i) {
-    clients.emplace_back(static_cast<std::int64_t>(i), std::move(shards[i]),
-                         local);
-  }
+  // Virtualized client model: shards, fault schedules, and per-round
+  // streams are synthesized on demand from (seed, client_id), so setup
+  // is O(dataset) and a round touches only the clients it sampled —
+  // never O(total_clients) storage (fl/virtual_client.h; bitwise
+  // equality with eager construction is pinned in property_test).
+  const VirtualClientProvider provider(train, part, part_rng, local,
+                                       config.faults, config.seed);
+  const std::size_t total_clients =
+      static_cast<std::size_t>(config.total_clients);
 
   // The main scratch model serves serial training and evaluation; its
   // weights are overwritten from the global model each run_round.
@@ -137,7 +142,7 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
                  .screening = config.screening,
                  .min_reporting = config.min_reporting,
                  .reduced_min_reporting = config.reduced_min_reporting});
-  const FaultPlan plan(config.faults, config.seed);
+  const FaultPlan& plan = provider.fault_plan();
   const RetryPolicy rpolicy(config.retry);
   // Streaming accumulator for the async engine; screening comes from
   // the shared config (one source of truth).
@@ -291,7 +296,7 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
       Rng sample_rng =
           round_rng.fork("sample", static_cast<std::uint64_t>(t));
       std::vector<std::size_t> chosen = server.sample_clients(
-          clients.size(), static_cast<std::size_t>(config.clients_per_round),
+          total_clients, static_cast<std::size_t>(config.clients_per_round),
           sample_rng);
       Rng drop_rng =
           round_rng.fork("dropout", static_cast<std::uint64_t>(t));
@@ -364,20 +369,19 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
       // is stashed for its due round.
       const TensorList async_weights = agg->weights_snapshot();
       auto process_one = [&](AsyncAttempt& a, nn::Sequential& scratch) {
-        Rng crng = round_rng.fork(
-            "client", static_cast<std::uint64_t>(
-                          t * 1000003 + static_cast<std::int64_t>(a.ci)));
+        Rng crng = VirtualClientProvider::training_stream(
+            round_rng, t, static_cast<std::int64_t>(a.ci));
+        const Client client =
+            provider.client(static_cast<std::int64_t>(a.ci));
         a.outcome =
-            clients[a.ci].run_round(scratch, async_weights, policy, t, crng);
+            client.run_round(scratch, async_weights, policy, t, crng);
         if (config.prune_ratio > 0.0) {
           prune_smallest(a.outcome.update.delta, config.prune_ratio);
         }
         // Per-(round, client) fault stream: corruption draws stay
         // schedule-independent even with parallel workers.
-        Rng frng = round_rng.fork(
-            "fault-delivery",
-            static_cast<std::uint64_t>(t * 1000003 +
-                                       static_cast<std::int64_t>(a.ci)));
+        Rng frng = VirtualClientProvider::delivery_fault_stream(
+            round_rng, t, static_cast<std::int64_t>(a.ci));
         if (a.fault == FaultType::kCorruptDelta) {
           corrupt_delta(a.outcome.update.delta, frng);
         } else if (a.fault == FaultType::kStaleRound) {
@@ -401,9 +405,11 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
           a.decode_failed = true;
           return;
         }
-        a.weight = config.weight_by_data_size
-                       ? static_cast<double>(clients[a.ci].data().size())
-                       : 1.0;
+        a.weight =
+            config.weight_by_data_size
+                ? static_cast<double>(
+                      provider.data_size(static_cast<std::int64_t>(a.ci)))
+                : 1.0;
         if (a.rounds_late == 0) {
           a.offer = agg->offer(decoded.take(), t, a.weight);
           a.offered = true;
@@ -623,7 +629,7 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
     const std::pair<std::int64_t, std::int64_t> clip_before = clip_totals();
     Rng sample_rng = round_rng.fork("sample", static_cast<std::uint64_t>(t));
     std::vector<std::size_t> chosen = server.sample_clients(
-        clients.size(), static_cast<std::size_t>(config.clients_per_round),
+        total_clients, static_cast<std::size_t>(config.clients_per_round),
         sample_rng);
 
     std::vector<ClientUpdate> updates;
@@ -702,11 +708,12 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
         if (attempts[i].run) runnable.push_back(i);
       }
       auto train_one = [&](Attempt& a, nn::Sequential& scratch) {
-        Rng crng = round_rng.fork(
-            "client", static_cast<std::uint64_t>(
-                          t * 1000003 + static_cast<std::int64_t>(a.ci)));
-        a.outcome = clients[a.ci].run_round(scratch, server.weights(),
-                                            policy, t, crng);
+        Rng crng = VirtualClientProvider::training_stream(
+            round_rng, t, static_cast<std::int64_t>(a.ci));
+        const Client client =
+            provider.client(static_cast<std::int64_t>(a.ci));
+        a.outcome = client.run_round(scratch, server.weights(),
+                                     policy, t, crng);
       };
       if (!parallel_clients || runnable.size() <= 1) {
         for (std::size_t i : runnable) train_one(attempts[i], *model);
@@ -814,8 +821,8 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
           continue;
         }
         updates.push_back(decoded.take());
-        update_weights.push_back(
-            static_cast<double>(clients[a.ci].data().size()));
+        update_weights.push_back(static_cast<double>(
+            provider.data_size(static_cast<std::int64_t>(a.ci))));
       }
     };
 
@@ -835,10 +842,10 @@ FlRunResult run_experiment(const FlExperimentConfig& config,
     // replacement clients from the unsampled pool.
     if (config.retry_failed_clients && transient_failed > 0 &&
         static_cast<std::int64_t>(updates.size()) < config.min_reporting) {
-      std::vector<bool> in_round(clients.size(), false);
+      std::vector<bool> in_round(total_clients, false);
       for (std::size_t ci : chosen) in_round[ci] = true;
       std::vector<std::size_t> spare;
-      for (std::size_t i = 0; i < clients.size(); ++i) {
+      for (std::size_t i = 0; i < total_clients; ++i) {
         if (!in_round[i]) spare.push_back(i);
       }
       Rng retry_rng = round_rng.fork("retry", static_cast<std::uint64_t>(t));

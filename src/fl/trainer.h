@@ -97,6 +97,21 @@ struct FlExperimentConfig {
   // apply-or-skip behavior. In the async engine the analogous tier is
   // the end-of-round partial flush, which is always on.
   std::int64_t reduced_min_reporting = 0;
+  // Streaming scale engine (fl/scale_engine.h): updates are screened,
+  // sanitized, and folded into an O(log K) binary-counter accumulator
+  // as they arrive — no K-sized update buffer — with edge aggregators
+  // of `tree_fan_out` clients feeding a root reducer. Synchronous
+  // semantics (same cohort, quorum, and retry behavior); the reduction
+  // order is pinned so any fan-out produces bitwise-identical results
+  // on fault-free rounds (DESIGN.md §7). Mutually exclusive with
+  // async_mode. Note the rounding of the mean differs from the legacy
+  // engine (sum × 1/Σw vs incremental w/Σw folds), so streaming runs
+  // are bitwise self-consistent but not bitwise equal to legacy runs.
+  bool streaming_aggregation = false;
+  // Edge-aggregator fan-out for the streaming engine; must be a power
+  // of two >= 2. Values >= clients_per_round degenerate to one flat
+  // streaming accumulator.
+  std::int64_t tree_fan_out = 64;
 
   std::int64_t effective_rounds() const {
     return rounds > 0 ? rounds : bench.rounds;
@@ -131,6 +146,10 @@ struct FlRunResult {
   // Async engine: total aggregate applications (the final model
   // version); a round can apply more than once.
   std::int64_t async_applies = 0;
+  // Streaming engine: high-water binary-counter occupancy across every
+  // reducer the run created — the bounded-memory witness, bounded by
+  // floor(log2(units)) + 1 regardless of K (fl/tree_aggregation.h).
+  std::int64_t max_stream_levels = 0;
   // Rounds applied under the reduced-quorum degradation tier (sync:
   // below min_reporting but at or above reduced_min_reporting; async:
   // end-of-round partial flush).

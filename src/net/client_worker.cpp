@@ -16,6 +16,7 @@
 #include "fl/client.h"
 #include "fl/compression.h"
 #include "fl/protocol.h"
+#include "fl/virtual_client.h"
 #include "net/frame.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -87,25 +88,29 @@ Result<WorkerReport> run_worker(const WorkerConfig& config) {
       data::generate_synthetic(bench.train_spec, data_rng));
   data::PartitionSpec part = bench.partition;
   part.num_clients = d.total_clients;
-  std::vector<data::ClientData> shards =
-      data::partition(train, part, part_rng);
 
   const fl::LocalTrainConfig local{
       .local_iterations = d.local_iterations,
       .batch_size = bench.batch_size,
       .learning_rate = bench.learning_rate,
       .lr_decay_per_round = bench.lr_decay_per_round};
-  std::map<std::int64_t, fl::Client> hosted;
-  for (std::size_t i = 0; i < shards.size(); ++i) {
-    if (static_cast<int>(i % static_cast<std::size_t>(config.num_workers)) !=
-        config.worker_index) {
-      continue;
-    }
-    hosted.emplace(
-        std::piecewise_construct,
-        std::forward_as_tuple(static_cast<std::int64_t>(i)),
-        std::forward_as_tuple(static_cast<std::int64_t>(i),
-                              std::move(shards[i]), local));
+  // Virtualized hosting: this worker owns every client id with
+  // id % num_workers == worker_index, but materializes a client only
+  // when a round asks for it. Startup is O(dataset) instead of
+  // O(total_clients), and the provider synthesizes the exact shard
+  // bytes the eager partition produced (fl/virtual_client.h), so the
+  // three-way serving parity pins are untouched.
+  const fl::VirtualClientProvider provider(train, part, part_rng, local,
+                                           /*faults=*/{}, d.seed);
+  const auto hosts = [&](std::int64_t ci) {
+    return ci >= 0 && ci < d.total_clients &&
+           ci % static_cast<std::int64_t>(config.num_workers) ==
+               static_cast<std::int64_t>(config.worker_index);
+  };
+  std::int64_t hosted_count = 0;
+  for (std::int64_t ci = config.worker_index; ci < d.total_clients;
+       ci += config.num_workers) {
+    ++hosted_count;
   }
 
   std::shared_ptr<nn::Sequential> model =
@@ -113,9 +118,9 @@ Result<WorkerReport> run_worker(const WorkerConfig& config) {
   std::unique_ptr<core::PrivacyPolicy> policy = make_policy(d);
 
   FEDCL_LOG(Info) << "fedcl_client: worker " << config.worker_index << "/"
-                  << config.num_workers << " hosting " << hosted.size()
-                  << " of " << d.total_clients << " clients on "
-                  << bench.name;
+                  << config.num_workers << " hosting " << hosted_count
+                  << " of " << d.total_clients
+                  << " clients (virtualized) on " << bench.name;
 
   telemetry::Registry& reg = telemetry::global_registry();
   const std::string worker_label = std::to_string(config.worker_index);
@@ -162,8 +167,7 @@ Result<WorkerReport> run_worker(const WorkerConfig& config) {
         reg, "fl.client.round", {{"worker", worker_label}}, req.round);
 
     for (std::int64_t ci : req.client_ids) {
-      auto it = hosted.find(ci);
-      if (it == hosted.end()) {
+      if (!hosts(ci)) {
         TrainErrorMsg err;
         err.client_id = ci;
         err.message = "client not hosted by worker " +
@@ -174,16 +178,18 @@ Result<WorkerReport> run_worker(const WorkerConfig& config) {
         }
         continue;
       }
+      // Materialized on demand, bitwise identical on every request.
+      const fl::Client client = provider.client(ci);
       // The same per-(round, client) stream the in-process trainer
       // forks — the label discipline is the parity guarantee.
-      Rng crng = round_rng.fork(
-          "client", static_cast<std::uint64_t>(req.round * 1000003 + ci));
+      Rng crng =
+          fl::VirtualClientProvider::training_stream(round_rng, req.round, ci);
       fl::ClientRoundOutcome outcome = [&] {
         telemetry::SpanTimer train_span(reg, "fl.client.phase",
                                         {{"phase", "local_train"}},
                                         req.round);
-        return it->second.run_round(*model, global_weights, *policy,
-                                    req.round, crng);
+        return client.run_round(*model, global_weights, *policy,
+                                req.round, crng);
       }();
       fl::SecureChannel channel(fl::client_channel_key(d.seed, ci));
       UpdateMsg msg;
@@ -195,7 +201,7 @@ Result<WorkerReport> run_worker(const WorkerConfig& config) {
           fl::prune_smallest(outcome.update.delta, d.prune_ratio);
         }
         msg.client_id = ci;
-        msg.data_size = static_cast<std::int64_t>(it->second.data().size());
+        msg.data_size = static_cast<std::int64_t>(client.data().size());
         msg.sealed = channel.seal(fl::serialize_update(outcome.update));
       }
       telemetry::SpanTimer upload_span(reg, "fl.client.phase",

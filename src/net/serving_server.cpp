@@ -16,10 +16,12 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "data/partition.h"
 #include "data/synthetic.h"
 #include "fl/client.h"
 #include "fl/protocol.h"
 #include "fl/server.h"
+#include "fl/virtual_client.h"
 #include "nn/grad_utils.h"
 #include "nn/model_zoo.h"
 
@@ -95,10 +97,29 @@ ServingReport ServingServer::run() {
       static_cast<data::BenchmarkId>(d.bench_id),
       static_cast<BenchScale>(d.scale));
   Rng root(d.seed);
+  Rng data_rng = root.fork("train-data");
   Rng val_rng = root.fork("val-data");
+  Rng part_rng = root.fork("partition");
   Rng model_rng = root.fork("model");
   Rng round_rng = root.fork("rounds");
   data::Dataset val = data::generate_synthetic(bench.val_spec, val_rng);
+  // The server derives data-size aggregation weights from its own
+  // virtualized provider — a pure function of (seed, client_id) over
+  // the same descriptor the workers got — instead of trusting the
+  // worker-reported data_size field, so a compromised worker cannot
+  // inflate its own weight (PROTOCOL.md threat model). The wire field
+  // stays for observability and pre-hardening compatibility.
+  auto train = std::make_shared<data::Dataset>(
+      data::generate_synthetic(bench.train_spec, data_rng));
+  data::PartitionSpec part = bench.partition;
+  part.num_clients = d.total_clients;
+  const fl::LocalTrainConfig local{
+      .local_iterations = d.local_iterations,
+      .batch_size = bench.batch_size,
+      .learning_rate = bench.learning_rate,
+      .lr_decay_per_round = bench.lr_decay_per_round};
+  const fl::VirtualClientProvider provider(train, part, part_rng, local,
+                                           /*faults=*/{}, d.seed);
   std::shared_ptr<nn::Sequential> model =
       nn::build_model(bench.model, model_rng);
   const dp::ParamGroups groups = fl::to_param_groups(model->layer_groups());
@@ -381,7 +402,9 @@ ServingReport ServingServer::run() {
             }
             UpdateMsg msg = decoded.take();
             pending.erase(msg.client_id);
-            const double weight = static_cast<double>(msg.data_size);
+            // Server-derived, never the wire-reported size.
+            const double weight =
+                static_cast<double>(provider.data_size(msg.client_id));
             const std::size_t slot = slot_of[msg.client_id];
             if (std::optional<fl::ClientUpdate> u =
                     open_update(std::move(msg), w, t, stats)) {
@@ -534,9 +557,11 @@ ServingReport ServingServer::run() {
         expire_crash(stats, 1);  // TrainError: this client never reports
         return true;
       }
-      const double weight = options_.weight_by_data_size
-                                ? static_cast<double>(update_msg->data_size)
-                                : 1.0;
+      // Server-derived, never the wire-reported size.
+      const double weight =
+          options_.weight_by_data_size
+              ? static_cast<double>(provider.data_size(update_msg->client_id))
+              : 1.0;
       std::optional<fl::ClientUpdate> update = open_update(
           std::move(*update_msg),
           static_cast<std::size_t>(&w - workers.data()), now, stats);

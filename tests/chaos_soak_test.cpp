@@ -144,6 +144,54 @@ TEST(ChaosSoak, AsyncEngineWithRetriesAndDropout) {
   EXPECT_GT(result.total_failures.fault_accepted_stale, 0);
 }
 
+TEST(ChaosSoak, StreamingEngineVirtualizedFederation) {
+  // The virtualized scale path: a federation three orders of magnitude
+  // larger than the cohort (clients materialized on demand, never
+  // stored), updates folded into the O(log K) accumulator as they
+  // arrive, with retries on. Survival means the same disposition
+  // ledger balance as the other engines PLUS bounded accumulator
+  // occupancy — the round never regrows the K-sized buffer it
+  // replaced.
+  FlExperimentConfig config = soak_config(/*async=*/false,
+                                          /*max_attempts=*/3, 1306);
+  config.total_clients = 10000;
+  config.clients_per_round = 40;
+  config.min_reporting = 2;
+  config.reduced_min_reporting = 1;
+  config.client_dropout = 0.1;
+  config.streaming_aggregation = true;
+  config.tree_fan_out = 8;
+  core::NonPrivatePolicy policy;
+  FlRunResult result = run_experiment(config, policy);
+  assert_survived(result, config);
+  EXPECT_GT(result.total_failures.retry_attempts, 0);
+  // Occupancy bound: every reducer (edge over <= fan_out leaves, root
+  // over the round's blocks) stays within floor(log2(units)) + 1 for
+  // the worst-case unit count of a round (every dispatch retried).
+  const std::int64_t worst_units =
+      config.clients_per_round * config.retry.max_attempts;
+  std::int64_t bound = 1;
+  for (std::int64_t v = worst_units; v > 1; v >>= 1) ++bound;
+  EXPECT_GT(result.max_stream_levels, 0);
+  EXPECT_LE(result.max_stream_levels, bound);
+}
+
+TEST(ChaosSoak, StreamingEngineUnderDpPolicySurvives) {
+  // Server-side sanitization runs per update inside the streaming
+  // fold (its own per-(round, client) noise stream) — soak it with
+  // real noise to catch ordering or double-sanitization bugs.
+  FlExperimentConfig config = soak_config(/*async=*/false,
+                                          /*max_attempts=*/2, 1307);
+  config.total_clients = 10000;
+  config.clients_per_round = 40;
+  config.streaming_aggregation = true;
+  config.tree_fan_out = 8;
+  core::FedSdpPolicy policy(/*clip=*/4.0, /*noise_scale=*/0.5,
+                            /*noise_at_server=*/true);
+  FlRunResult result = run_experiment(config, policy);
+  assert_survived(result, config);
+}
+
 TEST(ChaosSoak, AsyncUnderDpPolicySurvives) {
   // The streaming fold runs the policy's server-side hook per update;
   // soak it with actual server-side noise to catch ordering or

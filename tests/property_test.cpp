@@ -6,9 +6,12 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
 #include "dp/clipping.h"
 #include "fl/compression.h"
 #include "fl/protocol.h"
+#include "fl/virtual_client.h"
 #include "nn/grad_utils.h"
 #include "nn/loss.h"
 #include "nn/model_zoo.h"
@@ -184,6 +187,73 @@ TEST_P(DeterminismSweep, GradientsAreReproducible) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
                          ::testing::Values(1u, 1000u, 424242u));
+
+// ---- virtualized client streams: lazy == eager, for any (round, id) ----
+
+// The trainer used to fork each sampled client's stream inline:
+//   round_rng.fork("client", round * 1000003 + id)
+// The virtualized provider derives the same stream lazily on demand.
+// This pin is what makes the provider refactor bitwise-neutral: any
+// drift in the label or the index formula changes every training run.
+class VirtualStreamEquality : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(VirtualStreamEquality, LazyStreamMatchesLegacyInlineFork) {
+  Rng root(GetParam());
+  Rng round_rng = root.fork("rounds");
+  Rng probe(GetParam() + 17);
+  for (int i = 0; i < 50; ++i) {
+    const std::int64_t round = static_cast<std::int64_t>(probe.uniform_int(200));
+    const std::int64_t id =
+        static_cast<std::int64_t>(probe.uniform_int(1000000));
+    Rng legacy = round_rng.fork(
+        "client", static_cast<std::uint64_t>(round * 1000003 + id));
+    Rng lazy =
+        fl::VirtualClientProvider::training_stream(round_rng, round, id);
+    for (int draw = 0; draw < 8; ++draw) {
+      ASSERT_EQ(legacy.uniform(), lazy.uniform())
+          << "round " << round << " id " << id << " draw " << draw;
+    }
+    Rng legacy_fault = round_rng.fork(
+        "fault-delivery", static_cast<std::uint64_t>(round * 1000003 + id));
+    Rng lazy_fault =
+        fl::VirtualClientProvider::delivery_fault_stream(round_rng, round, id);
+    ASSERT_EQ(legacy_fault.uniform(), lazy_fault.uniform());
+  }
+}
+
+TEST_P(VirtualStreamEquality, LazyShardMatchesEagerPartition) {
+  // partition() is an eager walk over the same ShardPlan the provider
+  // holds — but pin the equality from the outside anyway, across both
+  // partition modes (class-sharded and full-copy).
+  Rng root(GetParam());
+  Rng data_rng = root.fork("train-data");
+  data::SyntheticSpec spec_data;
+  spec_data.example_shape = {8};
+  spec_data.classes = 4;
+  spec_data.count = 96;
+  auto base = std::make_shared<data::Dataset>(
+      data::generate_synthetic(spec_data, data_rng));
+  for (const std::int64_t classes_per_client : {0, 2}) {
+    const data::PartitionSpec spec{.num_clients = 32,
+                                   .data_per_client = 12,
+                                   .classes_per_client = classes_per_client};
+    Rng part_rng = root.fork("partition");
+    const data::ShardPlan plan(base, spec, part_rng);
+    const std::vector<data::ClientData> eager =
+        data::partition(base, spec, part_rng);
+    ASSERT_EQ(static_cast<std::int64_t>(eager.size()), plan.num_clients());
+    // Lazy materialization in arbitrary order must match the eager walk.
+    for (const std::int64_t k : {31, 0, 17, 5, 30, 1}) {
+      EXPECT_EQ(plan.indices_for(k),
+                eager[static_cast<std::size_t>(k)].indices())
+          << "client " << k << " classes_per_client " << classes_per_client;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VirtualStreamEquality,
+                         ::testing::Values(7u, 2024u, 910910u));
 
 }  // namespace
 }  // namespace fedcl
